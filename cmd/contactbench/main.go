@@ -1,0 +1,186 @@
+// Command contactbench reproduces the paper's evaluation (Section 5):
+// it runs the synthetic projectile/two-plate sequence through MCML+DT
+// and ML+RCB and prints Table 1 (the six metrics averaged over the
+// snapshot sequence) plus the derived communication-ratio claims.
+//
+// Usage:
+//
+//	contactbench                       # Table 1 at the paper profile
+//	contactbench -quick                # small scene, few snapshots
+//	contactbench -k 25,100 -snapshots 100
+//	contactbench -ablate               # design-choice ablations
+//	contactbench -sweep                # Section 4.2 max_p/max_i sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("contactbench: ")
+	var (
+		kList     = flag.String("k", "25,100", "comma-separated partition counts")
+		refine    = flag.Int("refine", 0, "override scene refinement")
+		snapshots = flag.Int("snapshots", 0, "override snapshot count")
+		quick     = flag.Bool("quick", false, "small scene and 10 snapshots (seconds instead of minutes)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		ablate    = flag.Bool("ablate", false, "also run the design-choice ablations")
+		sweep     = flag.Bool("sweep", false, "run the Section 4.2 max_p/max_i sensitivity sweep")
+		csvPath   = flag.String("csv", "", "also write per-snapshot metric rows to this CSV file")
+	)
+	flag.Parse()
+
+	ks, err := parseKs(*kList)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := sim.PaperConfig()
+	if *quick {
+		cfg = sim.DefaultConfig()
+		cfg.Snapshots = 10
+		cfg.Steps = 100
+	}
+	if *refine > 0 {
+		cfg.Scene.Refine = *refine
+	}
+	if *snapshots > 0 {
+		cfg.Snapshots = *snapshots
+		if cfg.Steps < cfg.Snapshots {
+			cfg.Steps = 4 * cfg.Snapshots
+		}
+	}
+
+	t0 := time.Now()
+	snaps, err := sim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m0 := snaps[0].Mesh
+	fmt.Printf("sequence: %d snapshots; initial mesh %d nodes, %d elements, %d contact surfaces, %d contact nodes (%.1f%%) [%.1fs]\n\n",
+		len(snaps), m0.NumNodes(), m0.NumElems(), len(m0.Surface), len(m0.ContactNodes()),
+		100*float64(len(m0.ContactNodes()))/float64(m0.NumNodes()), time.Since(t0).Seconds())
+
+	if *sweep {
+		runSweep(snaps, ks[0], *seed)
+		return
+	}
+
+	var results []*harness.Result
+	for _, k := range ks {
+		t1 := time.Now()
+		r, err := harness.Run(snaps, harness.Config{K: k, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[%d-way done in %.1fs; MCML+DT avg imbalance FE %.3f / contact %.3f]\n",
+			k, time.Since(t1).Seconds(), r.Avg.MCImbalanceFE, r.Avg.MCImbalanceContact)
+		results = append(results, r)
+	}
+	fmt.Println("\nTable 1 (averages over the snapshot sequence):")
+	harness.WriteTable(os.Stdout, results)
+	fmt.Println()
+	harness.WriteDerived(os.Stdout, results)
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := harness.WriteCSV(f, results); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote per-snapshot rows to %s\n", *csvPath)
+	}
+
+	if *ablate {
+		runAblations(snaps, ks, *seed)
+	}
+}
+
+func parseKs(s string) ([]int, error) {
+	var ks []int
+	for _, part := range strings.Split(s, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("bad -k element %q", part)
+		}
+		ks = append(ks, k)
+	}
+	return ks, nil
+}
+
+// runAblations measures the design choices DESIGN.md calls out:
+// contact-edge weight 1 vs 5, reshaping on/off, tight vs loose tree
+// filter, and descriptor-only vs hybrid updates.
+func runAblations(snaps []sim.Snapshot, ks []int, seed int64) {
+	fmt.Println("\nAblations:")
+	type variant struct {
+		name string
+		cfg  func(harness.Config) harness.Config
+	}
+	variants := []variant{
+		{"baseline (w=5, reshape, tight filter)", func(c harness.Config) harness.Config { return c }},
+		{"contact edge weight 1", func(c harness.Config) harness.Config { c.ContactEdgeWeight = 1; return c }},
+		{"no boundary reshaping", func(c harness.Config) harness.Config { c.SkipReshape = true; return c }},
+		{"loose tree filter (raw leaf rectangles)", func(c harness.Config) harness.Config { c.LooseTreeFilter = true; return c }},
+		{"hybrid updates (repartition every 10)", func(c harness.Config) harness.Config { c.RepartitionEvery = 10; return c }},
+		{"geometric MC-RCB pipeline (future work)", func(c harness.Config) harness.Config { c.Geometric = true; return c }},
+		{"margin-aware tree splits (future work)", func(c harness.Config) harness.Config { c.WideGaps = true; return c }},
+	}
+	for _, k := range ks {
+		fmt.Printf("\n  %d-way:\n", k)
+		fmt.Printf("  %-42s %10s %9s %9s %9s\n", "variant", "MCFEComm", "NTNodes", "MCNRem", "imbC")
+		for _, v := range variants {
+			cfg := v.cfg(harness.Config{K: k, Seed: seed})
+			r, err := harness.Run(snaps, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-42s %10.0f %9.0f %9.0f %9.3f\n",
+				v.name, r.Avg.MCFEComm, r.Avg.MCNTNodes, r.Avg.MCNRemote, r.Avg.MCImbalanceContact)
+		}
+	}
+}
+
+// runSweep reproduces the Section 4.2 parameter study: max_p and max_i
+// above, inside, and below the recommended ranges.
+func runSweep(snaps []sim.Snapshot, k int, seed int64) {
+	m := snaps[0].Mesh
+	n := float64(m.NumNodes())
+	kf := float64(k)
+	maxPs := []int{int(n / kf / 2), int(n / math.Pow(kf, 1.25)), int(n / math.Pow(kf, 1.5)), int(n * 2 / kf)}
+	maxIs := []int{2, int(n / math.Pow(kf, 2.25)), int(n / (kf * kf)), int(n / kf)}
+
+	fmt.Printf("Section 4.2 sweep at k=%d (n=%d; recommended: max_p in [%.0f, %.0f], max_i in [%.0f, %.0f]):\n",
+		k, int(n), n/math.Pow(kf, 1.5), n/kf, n/math.Pow(kf, 2.5), n/(kf*kf))
+	fmt.Printf("%8s %8s %10s %9s %9s %8s %8s\n", "max_p", "max_i", "FEComm", "NTNodes", "NRemote", "imbFE", "imbC")
+	for _, mp := range maxPs {
+		for _, mi := range maxIs {
+			if mp < 4 || mi < 2 || mi > mp {
+				continue
+			}
+			r, err := harness.Run(snaps[:1], harness.Config{K: k, Seed: seed, MaxPure: mp, MaxImpure: mi})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%8d %8d %10.0f %9.0f %9.0f %8.3f %8.3f\n",
+				mp, mi, r.Avg.MCFEComm, r.Avg.MCNTNodes, r.Avg.MCNRemote,
+				r.Avg.MCImbalanceFE, r.Avg.MCImbalanceContact)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Command partition decomposes a single mesh file with either MCML+DT
+// (the paper's algorithm) or the ML+RCB baseline and prints the
+// partition-quality metrics of Section 5.1.
+//
+// Usage:
+//
+//	partition -mesh FILE -k N [-algo mcmldt|mlrcb] [-seed N]
+//	          [-imbalance F] [-cweight N] [-maxp N] [-maxi N] [-tol F]
+//	partition -graph FILE.graph -k N [-method rb|direct]   # raw METIS graph
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mesh"
+	"repro/internal/metrics"
+	"repro/internal/mlrcb"
+	"repro/internal/partition"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("partition: ")
+	var (
+		meshPath  = flag.String("mesh", "", "mesh file (from cmd/meshgen)")
+		graphPath = flag.String("graph", "", "METIS .graph file (partition a raw graph instead of a mesh)")
+		method    = flag.String("method", "rb", "graph partitioning method: rb (recursive bisection) or direct (multilevel k-way)")
+		k         = flag.Int("k", 25, "number of partitions")
+		algo      = flag.String("algo", "mcmldt", "algorithm: mcmldt or mlrcb")
+		seed      = flag.Int64("seed", 1, "random seed")
+		imbalance = flag.Float64("imbalance", 0.05, "per-constraint load imbalance tolerance")
+		cweight   = flag.Int("cweight", 5, "contact-contact edge weight (mcmldt)")
+		maxp      = flag.Int("maxp", 0, "guidance-tree max_p (0 = auto)")
+		maxi      = flag.Int("maxi", 0, "guidance-tree max_i (0 = auto)")
+		tol       = flag.Float64("tol", 0.5, "contact search proximity tolerance")
+	)
+	flag.Parse()
+	if *graphPath != "" {
+		partitionGraphFile(*graphPath, *k, *method, *seed, *imbalance)
+		return
+	}
+	if *meshPath == "" {
+		log.Fatal("one of -mesh or -graph is required")
+	}
+	m, err := mesh.LoadFile(*meshPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mesh: %d nodes, %d elements, %d surface elements, %d contact nodes\n",
+		m.NumNodes(), m.NumElems(), len(m.Surface), len(m.ContactNodes()))
+
+	switch *algo {
+	case "mcmldt":
+		nodal := mesh.DefaultNodalOptions()
+		nodal.ContactEdgeWeight = int32(*cweight)
+		d, err := core.Decompose(m, core.Config{
+			K: *k, Seed: *seed, Imbalance: *imbalance,
+			Nodal: nodal, MaxPure: *maxp, MaxImpure: *maxi, Parallel: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := d.Stats()
+		fmt.Printf("MCML+DT %d-way (max_p=%d, max_i=%d):\n", *k, d.Cfg.MaxPure, d.Cfg.MaxImpure)
+		fmt.Printf("  FEComm (comm volume)   %d\n", s.FEComm)
+		fmt.Printf("  EdgeCut                %d\n", s.EdgeCut)
+		fmt.Printf("  LoadImbalance          FE %.4f, contact %.4f\n", s.Imbalance[0], s.Imbalance[1])
+		fmt.Printf("  NTNodes                %d (height %d)\n", s.NTNodes, s.TreeHeight)
+		fmt.Printf("  NRemote                %d\n", d.NRemote(m, *tol))
+	case "mlrcb":
+		st, err := mlrcb.Decompose(m, mlrcb.Config{K: *k, Seed: *seed, Imbalance: *imbalance})
+		if err != nil {
+			log.Fatal(err)
+		}
+		imb := metrics.LoadImbalance(st.Graph, st.MeshLabels, *k)
+		m2m, err := st.M2MComm(st.MeshLabels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ML+RCB %d-way:\n", *k)
+		fmt.Printf("  FEComm (comm volume)   %d\n", metrics.CommVolume(st.Graph, st.MeshLabels, *k))
+		fmt.Printf("  EdgeCut                %d\n", metrics.EdgeCut(st.Graph, st.MeshLabels))
+		fmt.Printf("  LoadImbalance          FE %.4f\n", imb[0])
+		fmt.Printf("  M2MComm                %d (of %d contact points)\n", m2m, len(st.ContactNodes))
+		fmt.Printf("  NRemote                %d\n", st.NRemote(m, *tol))
+	default:
+		log.Fatalf("unknown -algo %q (want mcmldt or mlrcb)", *algo)
+	}
+}
+
+// partitionGraphFile partitions a raw METIS graph file and prints the
+// quality metrics.
+func partitionGraphFile(path string, k int, method string, seed int64, imbalance float64) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := graph.ReadMetis(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d vertices, %d edges, %d constraints\n", g.NV(), g.NE(), g.NCon)
+	opt := partition.Options{K: k, Seed: seed, Imbalance: imbalance}
+	var labels []int32
+	switch method {
+	case "rb":
+		labels, err = partition.Partition(g, opt)
+	case "direct":
+		labels, err = partition.PartitionDirect(g, opt)
+	default:
+		log.Fatalf("unknown -method %q", method)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s %d-way:\n", method, k)
+	fmt.Printf("  EdgeCut                %d\n", metrics.EdgeCut(g, labels))
+	fmt.Printf("  CommVolume             %d\n", metrics.CommVolume(g, labels, k))
+	imb := metrics.LoadImbalance(g, labels, k)
+	for j, x := range imb {
+		fmt.Printf("  LoadImbalance[%d]       %.4f\n", j, x)
+	}
+}

@@ -1,0 +1,205 @@
+// Command treedemo reproduces the paper's illustrative figures:
+//
+//	-fig 1: a 3-way partitioning of 45 contact points (Figure 1) —
+//	        induces the decision tree, prints it, and renders the
+//	        axis-parallel rectangles each subdomain decomposes into.
+//	-fig 2: a 2-way partitioning of 28 points along a diagonal
+//	        boundary (Figure 2) — shows the tree-size blowup that
+//	        motivates the decision-tree-friendly reshaping step.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"repro/internal/dtree"
+	"repro/internal/geom"
+	"repro/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("treedemo: ")
+	fig := flag.Int("fig", 1, "figure to reproduce (1 or 2)")
+	svgPath := flag.String("svg", "", "also write the figure as an SVG file")
+	flag.Parse()
+	switch *fig {
+	case 1:
+		figure1(*svgPath)
+	case 2:
+		figure2(*svgPath)
+	default:
+		log.Fatalf("unknown figure %d", *fig)
+	}
+}
+
+// writeSVG renders points + tree leaf rectangles to path.
+func writeSVG(path string, pts []geom.Point, labels []int32, tree *dtree.Tree) {
+	regions := tree.LeafRegions(geom.BoxOf(pts))
+	var leafBoxes []geom.AABB
+	var leafParts []int32
+	for i := range tree.Nodes {
+		if tree.Nodes[i].IsLeaf() {
+			leafBoxes = append(leafBoxes, regions[i])
+			leafParts = append(leafParts, tree.Nodes[i].Part)
+		}
+	}
+	c := viz.PartitionedPoints(pts, labels, leafBoxes, leafParts, 640, 480)
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.WriteTo(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// figure1 lays out 45 contact points in three clustered groups (the
+// paper's triangle/circle/square partitions), induces the descriptor
+// tree, and renders the resulting space partition.
+func figure1(svgPath string) {
+	r := rand.New(rand.NewSource(7))
+	var pts []geom.Point
+	var labels []int32
+	// Three clusters with axis-parallel-ish boundaries: partition 0
+	// bottom-left, partition 1 top, partition 2 bottom-right.
+	for i := 0; i < 15; i++ {
+		pts = append(pts, geom.P2(r.Float64()*4.2, r.Float64()*4.2))
+		labels = append(labels, 0)
+	}
+	for i := 0; i < 15; i++ {
+		pts = append(pts, geom.P2(r.Float64()*10, 5.2+r.Float64()*4.5))
+		labels = append(labels, 1)
+	}
+	for i := 0; i < 15; i++ {
+		pts = append(pts, geom.P2(5.2+r.Float64()*4.5, r.Float64()*4.2))
+		labels = append(labels, 2)
+	}
+	tree, err := dtree.Build(pts, labels, 2, 3, dtree.Options{Mode: dtree.Descriptor})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Figure 1: 3-way partitioning of %d contact points\n", len(pts))
+	fmt.Printf("decision tree: %d nodes, %d leaves, height %d\n\n", tree.NumNodes(), tree.NumLeaves(), tree.Height())
+	render(pts, labels, tree, 3)
+	if svgPath != "" {
+		writeSVG(svgPath, pts, labels, tree)
+	}
+	fmt.Println("\ndecision tree (yes = left branch):")
+	printTree(tree, 0, "")
+	fmt.Println("\nsubdomain descriptors (leaf rectangles per partition):")
+	regions := tree.LeafRegions(geom.BoxOf(pts))
+	name := 'A'
+	for i := range tree.Nodes {
+		if tree.Nodes[i].IsLeaf() {
+			fmt.Printf("  (%c) partition %d: %v\n", name, tree.Nodes[i].Part, regions[i])
+			name++
+		}
+	}
+}
+
+// figure2 compares the tree induced on an axis-parallel 2-way split
+// with the tree induced on the same points split along the diagonal.
+func figure2(svgPath string) {
+	r := rand.New(rand.NewSource(11))
+	n := 28
+	pts := make([]geom.Point, n)
+	diag := make([]int32, n)
+	axis := make([]int32, n)
+	for i := range pts {
+		x, y := r.Float64()*10, r.Float64()*10
+		pts[i] = geom.P2(x, y)
+		if y > x {
+			diag[i] = 1
+		}
+		if y > 5 {
+			axis[i] = 1
+		}
+	}
+	aTree, err := dtree.Build(pts, axis, 2, 2, dtree.Options{Mode: dtree.Descriptor})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dTree, err := dtree.Build(pts, diag, 2, 2, dtree.Options{Mode: dtree.Descriptor})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Figure 2: 2-way partitioning of %d contact points\n\n", n)
+	fmt.Printf("axis-parallel boundary: tree has %d nodes (%d leaves)\n", aTree.NumNodes(), aTree.NumLeaves())
+	fmt.Printf("diagonal boundary:      tree has %d nodes (%d leaves)\n\n", dTree.NumNodes(), dTree.NumLeaves())
+	fmt.Println("diagonal-boundary space partition (fine-grained staircase):")
+	render(pts, diag, dTree, 2)
+	if svgPath != "" {
+		writeSVG(svgPath, pts, diag, dTree)
+	}
+	fmt.Println("\nThis mismatch between subdomain geometry and axis-parallel")
+	fmt.Println("hyperplanes is why MCML+DT reshapes the partition (Section 4.2).")
+}
+
+// render draws the points (digits = partition) and the tree's leaf
+// rectangle boundaries ('|', '-') on an ASCII canvas.
+func render(pts []geom.Point, labels []int32, tree *dtree.Tree, k int) {
+	const w, h = 72, 28
+	box := geom.BoxOf(pts)
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = make([]byte, w)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	toCell := func(p geom.Point) (int, int) {
+		c := int((p[0] - box.Min[0]) / (box.Max[0] - box.Min[0]) * (w - 1))
+		r := int((box.Max[1] - p[1]) / (box.Max[1] - box.Min[1]) * (h - 1))
+		return r, c
+	}
+	// Rectangle edges.
+	regions := tree.LeafRegions(box)
+	for i := range tree.Nodes {
+		if !tree.Nodes[i].IsLeaf() {
+			continue
+		}
+		reg := regions[i]
+		r0, c0 := toCell(geom.P2(reg.Min[0], reg.Max[1]))
+		r1, c1 := toCell(geom.P2(reg.Max[0], reg.Min[1]))
+		for c := c0; c <= c1; c++ {
+			grid[r0][c], grid[r1][c] = '-', '-'
+		}
+		for r := r0; r <= r1; r++ {
+			grid[r][c0], grid[r][c1] = '|', '|'
+		}
+	}
+	// Points on top.
+	for i, p := range pts {
+		r, c := toCell(p)
+		grid[r][c] = byte('0' + labels[i]%10)
+	}
+	for _, row := range grid {
+		fmt.Printf("  %s\n", row)
+	}
+}
+
+// printTree prints the decision tree with indentation.
+func printTree(t *dtree.Tree, idx int32, indent string) {
+	n := &t.Nodes[idx]
+	if n.IsLeaf() {
+		fmt.Printf("%sleaf: partition %d (%d points)\n", indent, n.Part, n.Hi-n.Lo)
+		return
+	}
+	dim := "x"
+	if n.SplitDim == 1 {
+		dim = "y"
+	} else if n.SplitDim == 2 {
+		dim = "z"
+	}
+	fmt.Printf("%s%s <= %.2f ?\n", indent, dim, n.Cut)
+	printTree(t, n.Left, indent+"  ")
+	printTree(t, n.Right, indent+"  ")
+}

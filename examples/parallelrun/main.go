@@ -1,0 +1,63 @@
+// Parallelrun: execute one iteration of the parallel contact/impact
+// computation on k message-passing workers, showing the communication
+// the MCML+DT decomposition actually generates — ghost-node exchange
+// in the FE phase, decision-tree broadcast, and surface-element
+// shipping in the global search phase — and verifying the detected
+// contacts against serial detection.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/contact"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Simulate to mid-penetration so real cross-body contacts exist.
+	cfg := sim.DefaultConfig()
+	cfg.Steps = 200
+	cfg.Snapshots = 2
+	snaps, err := sim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := snaps[0].Mesh
+	fmt.Printf("mesh: %d nodes, %d surface elements\n\n", m.NumNodes(), len(m.Surface))
+
+	const tol = 0.5
+	serial := contact.DetectContacts(m, tol)
+	fmt.Printf("serial contact detection: %d pairs\n\n", len(serial))
+
+	for _, k := range []int{4, 16} {
+		d, err := core.Decompose(m, core.Config{K: k, Seed: 1, Parallel: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := engine.Run(m, d, tol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		match := "MATCHES serial"
+		if len(st.Pairs) != len(serial) {
+			match = fmt.Sprintf("MISMATCH (serial %d)", len(serial))
+		}
+		fmt.Printf("k=%d workers:\n", k)
+		fmt.Printf("  descriptor tree broadcast: %d bytes to each of %d ranks\n", st.TreeBytes, k)
+		fmt.Printf("  FE phase ghost units:      %d\n", st.GhostUnits)
+		fmt.Printf("  surface elements shipped:  %d\n", st.ElemsShipped)
+		fmt.Printf("  contacts detected:         %d  (%s)\n", len(st.Pairs), match)
+		var maxSent int64
+		for _, ws := range st.PerWorker {
+			if ws.ElemsSent > maxSent {
+				maxSent = ws.ElemsSent
+			}
+		}
+		fmt.Printf("  busiest rank shipped:      %d elements\n\n", maxSent)
+	}
+}

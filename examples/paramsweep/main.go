@@ -1,0 +1,68 @@
+// Paramsweep: the Section 4.2 sensitivity study. The guidance-tree
+// thresholds max_p and max_i control the granularity of the region
+// graph G': small values give the post-refinement step fine-grained
+// regions (easy to balance, good cut) but many regions per subdomain
+// (bigger descriptor trees); large values give few chunky regions that
+// the balancer cannot move. The paper recommends
+//
+//	n/k^1.5 <= max_p <= n/k   and   n/k^2.5 <= max_i <= n/k^2.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := sim.DefaultConfig()
+	cfg.Snapshots = 1
+	cfg.Steps = 4
+	snaps, err := sim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := snaps[0].Mesh
+
+	const k = 16
+	n := float64(m.NumNodes())
+	kf := float64(k)
+	loP, hiP := n/math.Pow(kf, 1.5), n/kf
+	loI, hiI := n/math.Pow(kf, 2.5), n/(kf*kf)
+	fmt.Printf("n = %d, k = %d\n", m.NumNodes(), k)
+	fmt.Printf("recommended: max_p in [%.0f, %.0f], max_i in [%.0f, %.0f]\n\n", loP, hiP, loI, hiI)
+
+	maxPs := []int{int(loP / 4), int(loP), int(math.Sqrt(loP * hiP)), int(hiP), int(hiP * 4)}
+	maxIs := []int{2, int(math.Sqrt(loI*hiI)) + 2, int(hiI) + 2, int(hiI * 8)}
+
+	fmt.Printf("%8s %8s | %9s %9s %8s %8s %9s\n",
+		"max_p", "max_i", "FEComm", "NTNodes", "imbFE", "imbC", "in range")
+	for _, mp := range maxPs {
+		for _, mi := range maxIs {
+			if mi > mp {
+				continue
+			}
+			d, err := core.Decompose(m, core.Config{
+				K: k, Seed: 5, MaxPure: mp, MaxImpure: mi, Parallel: true,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			s := d.Stats()
+			in := " "
+			if float64(mp) >= loP && float64(mp) <= hiP && float64(mi) >= loI && float64(mi) <= hiI {
+				in = "*"
+			}
+			fmt.Printf("%8d %8d | %9d %9d %8.3f %8.3f %6s\n",
+				mp, mi, s.FEComm, s.NTNodes, s.Imbalance[0], s.Imbalance[1], in)
+		}
+	}
+	fmt.Println("\n(*) = both thresholds inside the paper's recommended ranges.")
+	fmt.Println("Expect: tiny max_p -> big NTNodes; huge max_p/max_i -> imbalance")
+	fmt.Println("the post-refinement step cannot repair.")
+}

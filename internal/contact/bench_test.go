@@ -1,0 +1,51 @@
+package contact
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func benchBoxes(n int) []geom.AABB {
+	r := rand.New(rand.NewSource(1))
+	boxes := make([]geom.AABB, n)
+	for i := range boxes {
+		c := geom.P3(r.Float64()*100, r.Float64()*100, r.Float64()*10)
+		h := geom.P3(0.5+r.Float64(), 0.5+r.Float64(), 0.2)
+		boxes[i] = geom.AABB{Min: c.Sub(h), Max: c.Add(h)}
+	}
+	return boxes
+}
+
+func BenchmarkBVHBuild(b *testing.B) {
+	boxes := benchBoxes(20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewBVH(boxes, 3)
+	}
+}
+
+func BenchmarkBVHQuery(b *testing.B) {
+	boxes := benchBoxes(20000)
+	bvh := NewBVH(boxes, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		bvh.Query(boxes, boxes[i%len(boxes)], func(int32) { count++ })
+	}
+}
+
+func BenchmarkBoxFilter(b *testing.B) {
+	boxes := benchBoxes(100) // k=100 subdomain boxes
+	f := &BoxFilter{Boxes: boxes[:100], Dim: 3}
+	q := benchBoxes(1)[0]
+	mark := make([]bool, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.PartsFor(q, mark)
+		for p := range mark {
+			mark[p] = false
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package contact
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// BVH is a bounding-volume hierarchy over a set of boxes, the spatial
+// index the paper's Section 4 describes for serial global search ("on
+// serial computers, global search is done efficiently by representing
+// each contact surface by its bounding box and using various volume
+// partitioning (or spatial indexing) techniques"). It provides the
+// ground-truth candidate enumeration the filter implementations are
+// validated against, and the broad phase of full serial contact
+// detection.
+type BVH struct {
+	dim   int
+	nodes []bvhNode
+	items []int32 // leaf item indices, grouped per leaf
+}
+
+type bvhNode struct {
+	box         geom.AABB
+	left, right int32 // children, or -1 for leaves
+	lo, hi      int32 // leaves: items[lo:hi]
+}
+
+// bvhLeafSize is the maximum number of boxes per leaf.
+const bvhLeafSize = 8
+
+// NewBVH builds a hierarchy over boxes (indices into the given slice).
+// Empty input yields an empty (but usable) tree.
+func NewBVH(boxes []geom.AABB, dim int) *BVH {
+	t := &BVH{dim: dim}
+	if len(boxes) == 0 {
+		return t
+	}
+	items := make([]int32, len(boxes))
+	for i := range items {
+		items[i] = int32(i)
+	}
+	centers := make([]geom.Point, len(boxes))
+	for i, b := range boxes {
+		centers[i] = b.Center()
+	}
+	t.items = items
+	t.build(boxes, centers, 0, len(items))
+	return t
+}
+
+// build recursively constructs the subtree over t.items[lo:hi] and
+// returns its node index.
+func (t *BVH) build(boxes []geom.AABB, centers []geom.Point, lo, hi int) int32 {
+	idx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, bvhNode{left: -1, right: -1})
+
+	box := geom.Empty()
+	for _, it := range t.items[lo:hi] {
+		box = box.Union(boxes[it])
+	}
+	t.nodes[idx].box = box
+
+	if hi-lo <= bvhLeafSize {
+		t.nodes[idx].lo, t.nodes[idx].hi = int32(lo), int32(hi)
+		return idx
+	}
+	// Split at the median center along the widest centroid axis.
+	cbox := geom.Empty()
+	for _, it := range t.items[lo:hi] {
+		cbox = cbox.Extend(centers[it])
+	}
+	d := cbox.LongestDim(t.dim)
+	sub := t.items[lo:hi]
+	sort.Slice(sub, func(i, j int) bool {
+		ci, cj := centers[sub[i]][d], centers[sub[j]][d]
+		if ci != cj {
+			return ci < cj
+		}
+		return sub[i] < sub[j]
+	})
+	mid := lo + (hi-lo)/2
+	l := t.build(boxes, centers, lo, mid)
+	r := t.build(boxes, centers, mid, hi)
+	t.nodes[idx].left, t.nodes[idx].right = l, r
+	return idx
+}
+
+// Query calls visit with the index of every indexed box intersecting q.
+func (t *BVH) Query(boxes []geom.AABB, q geom.AABB, visit func(i int32)) {
+	if len(t.nodes) == 0 {
+		return
+	}
+	var stack [64]int32
+	sp := 0
+	stack[sp] = 0
+	sp++
+	for sp > 0 {
+		sp--
+		n := &t.nodes[stack[sp]]
+		if !n.box.Intersects(q, t.dim) {
+			continue
+		}
+		if n.left < 0 {
+			for _, it := range t.items[n.lo:n.hi] {
+				if boxes[it].Intersects(q, t.dim) {
+					visit(it)
+				}
+			}
+			continue
+		}
+		if sp+2 <= len(stack) {
+			stack[sp] = n.left
+			stack[sp+1] = n.right
+			sp += 2
+		} else {
+			t.queryFrom(boxes, n.left, q, visit)
+			t.queryFrom(boxes, n.right, q, visit)
+		}
+	}
+}
+
+func (t *BVH) queryFrom(boxes []geom.AABB, i int32, q geom.AABB, visit func(int32)) {
+	n := &t.nodes[i]
+	if !n.box.Intersects(q, t.dim) {
+		return
+	}
+	if n.left < 0 {
+		for _, it := range t.items[n.lo:n.hi] {
+			if boxes[it].Intersects(q, t.dim) {
+				visit(it)
+			}
+		}
+		return
+	}
+	t.queryFrom(boxes, n.left, q, visit)
+	t.queryFrom(boxes, n.right, q, visit)
+}
+
+// Pairs returns all unordered pairs (i < j) of indexed boxes that
+// intersect each other — the broad-phase candidate set of serial
+// contact detection.
+func (t *BVH) Pairs(boxes []geom.AABB) [][2]int32 {
+	var out [][2]int32
+	for i := range boxes {
+		t.Query(boxes, boxes[i], func(j int32) {
+			if int32(i) < j {
+				out = append(out, [2]int32{int32(i), j})
+			}
+		})
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package contact
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// UniformGrid is the bucket-based spatial index alternative to the
+// BVH (Section 4's "various volume partitioning (or spatial indexing)
+// techniques"; cf. the position-code algorithm of Oldenburg & Nilsson
+// that the paper cites). Boxes are binned by the cells their extents
+// overlap; queries scan the cells the query box overlaps. For
+// near-uniform element sizes — the common case for contact surfaces —
+// it builds an order of magnitude faster than the BVH at a few times
+// the per-query cost (see the benchmarks), the right trade when the
+// index is rebuilt every time step.
+type UniformGrid struct {
+	dim     int
+	origin  geom.Point
+	cell    float64
+	nx, ny  int
+	nz      int
+	buckets [][]int32
+	indexed int
+}
+
+// NewUniformGrid builds a grid over the boxes with a cell size of
+// roughly twice the median box extent (clamped to produce at most
+// ~4x len(boxes) cells).
+func NewUniformGrid(boxes []geom.AABB, dim int) *UniformGrid {
+	g := &UniformGrid{dim: dim, cell: 1, nx: 1, ny: 1, nz: 1}
+	if len(boxes) == 0 {
+		g.buckets = make([][]int32, 1)
+		return g
+	}
+	world := geom.Empty()
+	var sumExt float64
+	for _, b := range boxes {
+		world = world.Union(b)
+		e := b.Extent()
+		for d := 0; d < dim; d++ {
+			sumExt += e[d]
+		}
+	}
+	avgExt := sumExt / float64(len(boxes)*dim)
+	cell := 2 * avgExt
+	if cell <= 0 {
+		cell = 1
+	}
+	// Clamp the total cell count.
+	for {
+		nx := gridCount(world.Min[0], world.Max[0], cell)
+		ny := gridCount(world.Min[1], world.Max[1], cell)
+		nz := 1
+		if dim == 3 {
+			nz = gridCount(world.Min[2], world.Max[2], cell)
+		}
+		if nx*ny*nz <= 4*len(boxes)+64 {
+			g.nx, g.ny, g.nz = nx, ny, nz
+			break
+		}
+		cell *= 2
+	}
+	g.cell = cell
+	g.origin = world.Min
+	g.buckets = make([][]int32, g.nx*g.ny*g.nz)
+	for i, b := range boxes {
+		g.eachCell(b, func(c int) {
+			g.buckets[c] = append(g.buckets[c], int32(i))
+		})
+		g.indexed++
+	}
+	return g
+}
+
+func gridCount(lo, hi, cell float64) int {
+	n := int(math.Ceil((hi-lo)/cell)) + 1
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// cellRange clamps box extents to cell indices along one axis.
+func (g *UniformGrid) cellRange(lo, hi, origin float64, n int) (int, int) {
+	a := int(math.Floor((lo - origin) / g.cell))
+	b := int(math.Floor((hi - origin) / g.cell))
+	if a < 0 {
+		a = 0
+	}
+	if a > n-1 {
+		a = n - 1
+	}
+	if b < a {
+		b = a
+	}
+	if b > n-1 {
+		b = n - 1
+	}
+	return a, b
+}
+
+// eachCell calls fn with the flat index of every cell b overlaps.
+func (g *UniformGrid) eachCell(b geom.AABB, fn func(cell int)) {
+	x0, x1 := g.cellRange(b.Min[0], b.Max[0], g.origin[0], g.nx)
+	y0, y1 := g.cellRange(b.Min[1], b.Max[1], g.origin[1], g.ny)
+	z0, z1 := 0, 0
+	if g.dim == 3 {
+		z0, z1 = g.cellRange(b.Min[2], b.Max[2], g.origin[2], g.nz)
+	}
+	for z := z0; z <= z1; z++ {
+		for y := y0; y <= y1; y++ {
+			base := (z*g.ny + y) * g.nx
+			for x := x0; x <= x1; x++ {
+				fn(base + x)
+			}
+		}
+	}
+}
+
+// Query calls visit for every indexed box intersecting q. A box
+// spanning several cells is reported once per query (deduplicated with
+// a visited stamp), and in ascending index order is NOT guaranteed.
+func (g *UniformGrid) Query(boxes []geom.AABB, q geom.AABB, visit func(i int32)) {
+	if g.indexed == 0 {
+		return
+	}
+	seen := make(map[int32]struct{}, 16)
+	g.eachCell(q, func(c int) {
+		for _, i := range g.buckets[c] {
+			if _, dup := seen[i]; dup {
+				continue
+			}
+			seen[i] = struct{}{}
+			if boxes[i].Intersects(q, g.dim) {
+				visit(i)
+			}
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package contact
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func TestUniformGridMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		boxes := make([]geom.AABB, n)
+		for i := range boxes {
+			c := geom.P3(r.Float64()*20, r.Float64()*20, r.Float64()*20)
+			h := geom.P3(r.Float64(), r.Float64(), r.Float64())
+			boxes[i] = geom.AABB{Min: c.Sub(h), Max: c.Add(h)}
+		}
+		g := NewUniformGrid(boxes, 3)
+		for trial := 0; trial < 5; trial++ {
+			c := geom.P3(r.Float64()*20, r.Float64()*20, r.Float64()*20)
+			h := geom.P3(r.Float64()*3, r.Float64()*3, r.Float64()*3)
+			q := geom.AABB{Min: c.Sub(h), Max: c.Add(h)}
+			got := map[int32]bool{}
+			g.Query(boxes, q, func(i int32) {
+				if got[i] {
+					t.Errorf("duplicate visit of %d", i)
+				}
+				got[i] = true
+			})
+			for i, b := range boxes {
+				if got[int32(i)] != b.Intersects(q, 3) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func gridRandBoxes(r *rand.Rand, n int) []geom.AABB {
+	boxes := make([]geom.AABB, n)
+	for i := range boxes {
+		c := geom.P3(r.Float64()*10, r.Float64()*10, r.Float64()*10)
+		h := geom.P3(r.Float64(), r.Float64(), r.Float64())
+		boxes[i] = geom.AABB{Min: c.Sub(h), Max: c.Add(h)}
+	}
+	return boxes
+}
+
+func TestUniformGridMatchesBVH(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	boxes := gridRandBoxes(r, 500)
+	grid := NewUniformGrid(boxes, 3)
+	bvh := NewBVH(boxes, 3)
+	for trial := 0; trial < 20; trial++ {
+		q := gridRandBoxes(r, 1)[0]
+		a := map[int32]bool{}
+		b := map[int32]bool{}
+		grid.Query(boxes, q, func(i int32) { a[i] = true })
+		bvh.Query(boxes, q, func(i int32) { b[i] = true })
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: grid found %d, bvh %d", trial, len(a), len(b))
+		}
+		for i := range a {
+			if !b[i] {
+				t.Fatalf("trial %d: grid found %d, bvh did not", trial, i)
+			}
+		}
+	}
+}
+
+func TestUniformGridEmpty(t *testing.T) {
+	g := NewUniformGrid(nil, 3)
+	g.Query(nil, geom.AABB{Min: geom.P3(0, 0, 0), Max: geom.P3(1, 1, 1)}, func(int32) {
+		t.Error("empty grid visited something")
+	})
+}
+
+func TestUniformGridQueryOutsideWorld(t *testing.T) {
+	boxes := []geom.AABB{{Min: geom.P3(0, 0, 0), Max: geom.P3(1, 1, 1)}}
+	g := NewUniformGrid(boxes, 3)
+	// Far-away query clamps into boundary cells and finds nothing.
+	found := false
+	g.Query(boxes, geom.AABB{Min: geom.P3(100, 100, 100), Max: geom.P3(101, 101, 101)}, func(int32) {
+		found = true
+	})
+	if found {
+		t.Error("distant query matched")
+	}
+	// A huge query covering the world finds the box.
+	g.Query(boxes, geom.AABB{Min: geom.P3(-100, -100, -100), Max: geom.P3(101, 101, 101)}, func(i int32) {
+		found = true
+	})
+	if !found {
+		t.Error("covering query missed the box")
+	}
+}
+
+func TestUniformGridCoincidentBoxes(t *testing.T) {
+	// Degenerate: all boxes identical points (zero extent).
+	boxes := make([]geom.AABB, 20)
+	for i := range boxes {
+		p := geom.P3(1, 2, 3)
+		boxes[i] = geom.AABB{Min: p, Max: p}
+	}
+	g := NewUniformGrid(boxes, 3)
+	count := 0
+	g.Query(boxes, geom.AABB{Min: geom.P3(0, 0, 0), Max: geom.P3(5, 5, 5)}, func(int32) { count++ })
+	if count != 20 {
+		t.Errorf("found %d of 20 coincident boxes", count)
+	}
+}
+
+func BenchmarkUniformGridBuild(b *testing.B) {
+	boxes := benchBoxes(20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewUniformGrid(boxes, 3)
+	}
+}
+
+func BenchmarkUniformGridQuery(b *testing.B) {
+	boxes := benchBoxes(20000)
+	g := NewUniformGrid(boxes, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		g.Query(boxes, boxes[i%len(boxes)], func(int32) { count++ })
+	}
+}

@@ -1,0 +1,330 @@
+// Package core implements the paper's contribution, the MCML+DT
+// decomposition pipeline of Section 4:
+//
+//  1. model the mesh as a nodal graph with two vertex weights (FE phase,
+//     contact-search phase) and boosted weights on contact-contact edges;
+//  2. compute a multilevel multi-constraint k-way partitioning P;
+//  3. induce a decision tree over *all* mesh nodes (Guidance mode with
+//     the max_p/max_i thresholds) and reassign every leaf's nodes to the
+//     leaf's majority partition, yielding P' whose subdomain boundaries
+//     are piecewise axis-parallel;
+//  4. collapse the tree leaves into the region graph G' and run
+//     multi-constraint k-way refinement on it to restore the balance
+//     that the reassignment broke, yielding P”;
+//  5. induce the contact-point decision tree (Descriptor mode) on P”
+//     — the geometric subdomain descriptors used by global search.
+//
+// Between time steps the partition is kept and only step 5 re-runs
+// (the paper's default update strategy); Hybrid updates re-run the
+// whole pipeline every R steps.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/contact"
+	"repro/internal/dtree"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/mesh"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/rcb"
+)
+
+// Config parameterizes Decompose.
+type Config struct {
+	// K is the number of partitions; Seed drives every randomized
+	// phase deterministically.
+	K    int
+	Seed int64
+	// Imbalance is the per-constraint tolerance epsilon (default 0.05).
+	Imbalance float64
+	// Nodal configures the two-constraint graph; zero value means
+	// mesh.DefaultNodalOptions() (unit weights, contact edge weight 5).
+	Nodal mesh.NodalGraphOptions
+	// MaxPure/MaxImpure are the guidance-tree thresholds (max_p, max_i
+	// of Section 4.2). Zero selects the geometric midpoint of the
+	// paper's recommended ranges: max_p = n/k^1.25, max_i = n/k^2.25.
+	MaxPure   int
+	MaxImpure int
+	// SkipReshape disables steps 3-4 (tree-guided reassignment and G'
+	// refinement), leaving the raw multi-constraint partition — the
+	// ablation showing why decision-tree-friendly boundaries matter.
+	SkipReshape bool
+	// Geometric replaces the multilevel graph partitioning (step 2)
+	// with a multi-constraint recursive coordinate bisection of the
+	// node coordinates — the "geometry-aware multi-constraint
+	// partitioning" direction of the paper's conclusions. Subdomains
+	// are boxes by construction (reshaping is skipped), so descriptor
+	// trees are minimal; the edge cut and communication volume are
+	// worse than the multilevel partitioner's.
+	Geometric bool
+	// Parallel enables concurrent tree induction.
+	Parallel bool
+	// WideGaps selects margin-aware hyperplanes in the descriptor tree
+	// (dtree.Options.PreferWideGaps) — the tree-induction improvement
+	// of the paper's future-work section.
+	WideGaps bool
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.Imbalance <= 0 {
+		c.Imbalance = 0.05
+	}
+	if c.Nodal.NCon == 0 {
+		c.Nodal = mesh.DefaultNodalOptions()
+	}
+	if c.MaxPure == 0 {
+		c.MaxPure = autoThreshold(n, c.K, 1.25)
+	}
+	if c.MaxImpure == 0 {
+		c.MaxImpure = autoThreshold(n, c.K, 2.25)
+	}
+	if c.MaxPure < 4 {
+		c.MaxPure = 4
+	}
+	if c.MaxImpure < 2 {
+		c.MaxImpure = 2
+	}
+	return c
+}
+
+// autoThreshold returns n / k^exp, the geometric midpoint of the
+// paper's recommended [n/k^(exp+0.25), n/k^(exp-0.25)] ranges.
+func autoThreshold(n, k int, exp float64) int {
+	return int(float64(n) / math.Pow(float64(k), exp))
+}
+
+// Decomposition is the output of the MCML+DT pipeline.
+type Decomposition struct {
+	Cfg   Config
+	Graph *graph.Graph // the two-constraint nodal graph
+	// Labels is P'': the final nodal partition.
+	Labels []int32
+	// RawLabels is P, the partition before tree-guided reshaping.
+	RawLabels []int32
+	// GuideTree is the full-node guidance tree (nil when SkipReshape).
+	GuideTree *dtree.Tree
+	// Descriptor is the contact-point decision tree used by global
+	// search, with ContactLabels the labels it was induced on and
+	// ContactNodes the mesh node ids of its points.
+	Descriptor    *dtree.Tree
+	ContactNodes  []int32
+	ContactPoints []geom.Point
+	ContactLabels []int32
+}
+
+// Decompose runs the full MCML+DT pipeline on a mesh.
+func Decompose(m *mesh.Mesh, cfg Config) (*Decomposition, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("core: K = %d", cfg.K)
+	}
+	cfg = cfg.withDefaults(m.NumNodes())
+	g := m.NodalGraph(cfg.Nodal)
+
+	popt := partition.Options{K: cfg.K, Seed: cfg.Seed, Imbalance: cfg.Imbalance}
+	var raw []int32
+	var err error
+	if cfg.Geometric {
+		_, raw, err = rcb.BuildMC(m.Coords, g.VWgt, g.NCon, m.Dim, cfg.K)
+	} else {
+		raw, err = partition.Partition(g, popt)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	d := &Decomposition{
+		Cfg:       cfg,
+		Graph:     g,
+		RawLabels: raw,
+		Labels:    append([]int32(nil), raw...),
+	}
+
+	if !cfg.SkipReshape && !cfg.Geometric && cfg.K > 1 {
+		if err := d.reshape(m, popt); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := d.induceDescriptor(m); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Redecompose adapts a previous decomposition to an updated mesh: the
+// multi-constraint *repartitioning* update of Section 4.3 ("the
+// updated multi-constraint partitioning will be computed using a
+// multi-constraint repartitioning algorithm [32]"). prevLabels maps
+// every node of m to its previous partition (the caller carries labels
+// across snapshots via persistent node ids). The repartitioner
+// restores balance with bounded migration; the boundary reshaping and
+// descriptor induction then run as in Decompose. Returns the new
+// decomposition and the number of nodes that migrated.
+func Redecompose(m *mesh.Mesh, prevLabels []int32, cfg Config) (*Decomposition, int, error) {
+	if cfg.K < 1 {
+		return nil, 0, fmt.Errorf("core: K = %d", cfg.K)
+	}
+	if len(prevLabels) != m.NumNodes() {
+		return nil, 0, fmt.Errorf("core: %d previous labels for %d nodes", len(prevLabels), m.NumNodes())
+	}
+	cfg = cfg.withDefaults(m.NumNodes())
+	g := m.NodalGraph(cfg.Nodal)
+
+	popt := partition.Options{K: cfg.K, Seed: cfg.Seed, Imbalance: cfg.Imbalance}
+	labels := append([]int32(nil), prevLabels...)
+	migrated, err := partition.Repartition(g, labels, partition.RepartitionOptions{Options: popt})
+	if err != nil {
+		return nil, 0, err
+	}
+
+	d := &Decomposition{
+		Cfg:       cfg,
+		Graph:     g,
+		RawLabels: append([]int32(nil), labels...),
+		Labels:    labels,
+	}
+	if !cfg.SkipReshape && cfg.K > 1 {
+		if err := d.reshape(m, popt); err != nil {
+			return nil, 0, err
+		}
+	}
+	if err := d.induceDescriptor(m); err != nil {
+		return nil, 0, err
+	}
+	return d, migrated, nil
+}
+
+// reshape performs steps 3-4: guidance tree, majority reassignment,
+// and G' refinement.
+func (d *Decomposition) reshape(m *mesh.Mesh, popt partition.Options) error {
+	cfg := d.Cfg
+	gt, err := dtree.Build(m.Coords, d.Labels, m.Dim, cfg.K, dtree.Options{
+		Mode:      dtree.Guidance,
+		MaxPure:   cfg.MaxPure,
+		MaxImpure: cfg.MaxImpure,
+		Parallel:  cfg.Parallel,
+	})
+	if err != nil {
+		return err
+	}
+	d.GuideTree = gt
+
+	// Dense leaf numbering, majority label per leaf.
+	leafGroup := make([]int32, len(gt.Nodes))
+	for i := range leafGroup {
+		leafGroup[i] = -1
+	}
+	var groupPart []int32
+	for i := range gt.Nodes {
+		if gt.Nodes[i].IsLeaf() {
+			leafGroup[i] = int32(len(groupPart))
+			groupPart = append(groupPart, gt.Nodes[i].Part)
+		}
+	}
+
+	// P': every node takes its leaf's majority partition. Build the
+	// region graph G' at the same time.
+	group := make([]int32, m.NumNodes())
+	for v := range group {
+		group[v] = leafGroup[gt.LeafOf[v]]
+		d.Labels[v] = groupPart[group[v]]
+	}
+	gq := d.Graph.Collapse(group, len(groupPart))
+
+	// Multi-constraint k-way refinement on G' restores balance while
+	// moving whole box-shaped regions, so P'' keeps axis-parallel
+	// boundaries.
+	partition.RefineKWay(gq, groupPart, popt)
+	for v := range group {
+		d.Labels[v] = groupPart[group[v]]
+	}
+	return nil
+}
+
+// induceDescriptor runs step 5 for the decomposition's own mesh.
+func (d *Decomposition) induceDescriptor(m *mesh.Mesh) error {
+	tree, nodes, pts, labels, err := DescriptorFor(m, d.Labels, d.Cfg)
+	if err != nil {
+		return err
+	}
+	d.Descriptor = tree
+	d.ContactNodes = nodes
+	d.ContactPoints = pts
+	d.ContactLabels = labels
+	return nil
+}
+
+// DescriptorFor induces the contact-point descriptor tree for a mesh
+// under the given nodal partition labels. This is the cheap per-step
+// update of Section 4.3: the partition stays, the tree is rebuilt for
+// the new contact-point positions.
+func DescriptorFor(m *mesh.Mesh, labels []int32, cfg Config) (*dtree.Tree, []int32, []geom.Point, []int32, error) {
+	nodes := m.ContactNodes()
+	pts := make([]geom.Point, len(nodes))
+	cl := make([]int32, len(nodes))
+	for i, n := range nodes {
+		pts[i] = m.Coords[n]
+		cl[i] = labels[n]
+	}
+	k := cfg.K
+	if k < 1 {
+		k = 1
+	}
+	tree, err := dtree.Build(pts, cl, m.Dim, k, dtree.Options{
+		Mode:           dtree.Descriptor,
+		Parallel:       cfg.Parallel,
+		PreferWideGaps: cfg.WideGaps,
+	})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return tree, nodes, pts, cl, nil
+}
+
+// Stats summarizes a decomposition for reporting.
+type Stats struct {
+	FEComm      int64
+	EdgeCut     int64
+	NTNodes     int
+	TreeHeight  int
+	Imbalance   []float64
+	NumContacts int
+}
+
+// Stats computes the decomposition's headline numbers against its own
+// graph.
+func (d *Decomposition) Stats() Stats {
+	return Stats{
+		FEComm:      metrics.CommVolume(d.Graph, d.Labels, d.Cfg.K),
+		EdgeCut:     metrics.EdgeCut(d.Graph, d.Labels),
+		NTNodes:     d.Descriptor.NumNodes(),
+		TreeHeight:  d.Descriptor.Height(),
+		Imbalance:   metrics.LoadImbalance(d.Graph, d.Labels, d.Cfg.K),
+		NumContacts: len(d.ContactNodes),
+	}
+}
+
+// NRemote runs the global search for mesh m with this decomposition's
+// descriptor tree and returns the paper's NRemote metric. tol inflates
+// every surface element's bounding box (the proximity tolerance).
+func (d *Decomposition) NRemote(m *mesh.Mesh, tol float64) int64 {
+	return NRemote(m, d.Labels, d.Descriptor, d.ContactPoints, d.ContactLabels, tol, true)
+}
+
+// NRemote computes the MCML+DT global-search volume for any mesh,
+// labels, and descriptor tree combination. tight clips each leaf
+// region to its points' bounding box (the production setting); pass
+// false to measure the raw space-partition filter (ablation).
+func NRemote(m *mesh.Mesh, labels []int32, desc *dtree.Tree, contactPts []geom.Point, contactLabels []int32, tol float64, tight bool) int64 {
+	owners := contact.SurfaceOwners(m, labels)
+	boxes := contact.SurfaceBoxes(m, tol)
+	f := &contact.TreeFilter{Tree: desc, Labels: contactLabels}
+	if tight {
+		f.TightBoxes = desc.PointBoxes(contactPts)
+	}
+	return contact.NRemote(boxes, owners, f)
+}

@@ -1,0 +1,396 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+	"repro/internal/meshgen"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// testMesh returns a small projectile scene snapshot.
+func testMesh(t *testing.T) *mesh.Mesh {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Scene.PlateNX, cfg.Scene.PlateNY, cfg.Scene.PlateNZ = 12, 12, 2
+	cfg.Scene.ProjN, cfg.Scene.ProjLen = 2, 6
+	cfg.Scene.ContactRadius = 4
+	cfg.Steps = 20
+	cfg.Snapshots = 2
+	snaps, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snaps[0].Mesh
+}
+
+func TestDecomposeBasics(t *testing.T) {
+	m := testMesh(t)
+	d, err := Decompose(m, Config{K: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Labels) != m.NumNodes() {
+		t.Fatalf("labels length %d", len(d.Labels))
+	}
+	for _, l := range d.Labels {
+		if l < 0 || l >= 8 {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+	s := d.Stats()
+	if s.Imbalance[0] > 1.15 || s.Imbalance[1] > 1.25 {
+		t.Errorf("imbalance too high: %v", s.Imbalance)
+	}
+	if s.NTNodes < 1 {
+		t.Error("descriptor tree empty")
+	}
+	if s.NumContacts == 0 {
+		t.Error("no contact nodes")
+	}
+}
+
+func TestDecomposeK1(t *testing.T) {
+	m := testMesh(t)
+	d, err := Decompose(m, Config{K: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range d.Labels {
+		if l != 0 {
+			t.Fatal("K=1 must label everything 0")
+		}
+	}
+	if d.Descriptor.NumNodes() != 1 {
+		t.Errorf("K=1 descriptor has %d nodes, want 1 leaf", d.Descriptor.NumNodes())
+	}
+}
+
+func TestDecomposeRejectsBadK(t *testing.T) {
+	m := testMesh(t)
+	if _, err := Decompose(m, Config{K: 0}); err == nil {
+		t.Error("accepted K=0")
+	}
+}
+
+func TestDescriptorLeavesPure(t *testing.T) {
+	m := testMesh(t)
+	d, err := Decompose(m, Config{K: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Descriptor.Nodes {
+		n := &d.Descriptor.Nodes[i]
+		if n.IsLeaf() && !n.Pure {
+			// Only coincident contact points may stay impure.
+			pts := d.Descriptor.LeafPoints(int32(i))
+			first := d.ContactPoints[pts[0]]
+			for _, p := range pts {
+				if d.ContactPoints[p] != first {
+					t.Fatalf("impure descriptor leaf %d with separable points", i)
+				}
+			}
+		}
+	}
+}
+
+func TestReshapeProducesAxisParallelRegions(t *testing.T) {
+	// After reshaping, every guidance-tree leaf region must contain
+	// nodes of a single partition (that is what "piecewise
+	// axis-parallel boundaries" means operationally).
+	m := testMesh(t)
+	d, err := Decompose(m, Config{K: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.GuideTree == nil {
+		t.Fatal("no guidance tree")
+	}
+	for i := range d.GuideTree.Nodes {
+		n := &d.GuideTree.Nodes[i]
+		if !n.IsLeaf() {
+			continue
+		}
+		pts := d.GuideTree.LeafPoints(int32(i))
+		first := d.Labels[pts[0]]
+		for _, p := range pts {
+			if d.Labels[p] != first {
+				t.Fatalf("guide leaf %d spans partitions %d and %d", i, first, d.Labels[p])
+			}
+		}
+	}
+}
+
+func TestReshapeReducesTreeSize(t *testing.T) {
+	m := testMesh(t)
+	reshaped, err := Decompose(m, Config{K: 8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := Decompose(m, Config{K: 8, Seed: 4, SkipReshape: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole point of P -> P' -> P'': decision-tree-friendly
+	// boundaries need fewer tree nodes.
+	if reshaped.Descriptor.NumNodes() > raw.Descriptor.NumNodes() {
+		t.Errorf("reshaped NTNodes %d > raw %d", reshaped.Descriptor.NumNodes(), raw.Descriptor.NumNodes())
+	}
+}
+
+func TestDecomposeDeterminism(t *testing.T) {
+	m := testMesh(t)
+	a, err := Decompose(m, Config{K: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Decompose(m, Config{K: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Labels {
+		if a.Labels[v] != b.Labels[v] {
+			t.Fatal("same seed gave different decompositions")
+		}
+	}
+	if a.Descriptor.NumNodes() != b.Descriptor.NumNodes() {
+		t.Fatal("same seed gave different descriptor trees")
+	}
+}
+
+func TestAutoThresholdsInPaperRanges(t *testing.T) {
+	n, k := 100000, 25
+	cfg := Config{K: k}.withDefaults(n)
+	lowP := float64(n) / math.Pow(float64(k), 1.5)
+	highP := float64(n) / float64(k)
+	if float64(cfg.MaxPure) < lowP || float64(cfg.MaxPure) > highP {
+		t.Errorf("MaxPure %d outside paper range [%.0f, %.0f]", cfg.MaxPure, lowP, highP)
+	}
+	lowI := float64(n) / math.Pow(float64(k), 2.5)
+	highI := float64(n) / float64(k*k)
+	if float64(cfg.MaxImpure) < lowI || float64(cfg.MaxImpure) > highI {
+		t.Errorf("MaxImpure %d outside paper range [%.0f, %.0f]", cfg.MaxImpure, lowI, highI)
+	}
+}
+
+func TestNRemoteTightNeverWorse(t *testing.T) {
+	m := testMesh(t)
+	d, err := Decompose(m, Config{K: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight := NRemote(m, d.Labels, d.Descriptor, d.ContactPoints, d.ContactLabels, 0.5, true)
+	loose := NRemote(m, d.Labels, d.Descriptor, d.ContactPoints, d.ContactLabels, 0.5, false)
+	if tight > loose {
+		t.Errorf("tight filter NRemote %d > loose %d", tight, loose)
+	}
+}
+
+func TestDescriptorForMatchesUpdateSemantics(t *testing.T) {
+	// Moving contact points and re-inducing must reuse the same labels
+	// but reflect the new geometry.
+	m := testMesh(t)
+	d, err := Decompose(m, Config{K: 4, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := m.Clone()
+	for _, n := range m2.ContactNodes() {
+		m2.Coords[n] = m2.Coords[n].Add(geom.P3(0.01, 0, 0))
+	}
+	tree, nodes, _, labels, err := DescriptorFor(m2, d.Labels, d.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != len(d.ContactNodes) {
+		t.Fatalf("contact set changed: %d vs %d", len(nodes), len(d.ContactNodes))
+	}
+	for i := range labels {
+		if labels[i] != d.ContactLabels[i] {
+			t.Fatal("labels must be carried, not recomputed")
+		}
+	}
+	if tree.NumNodes() < 1 {
+		t.Fatal("empty updated tree")
+	}
+}
+
+func TestStatsAgainstMetricsPackage(t *testing.T) {
+	m := testMesh(t)
+	d, err := Decompose(m, Config{K: 4, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if want := metrics.CommVolume(d.Graph, d.Labels, 4); s.FEComm != want {
+		t.Errorf("FEComm %d != %d", s.FEComm, want)
+	}
+	if want := metrics.EdgeCut(d.Graph, d.Labels); s.EdgeCut != want {
+		t.Errorf("EdgeCut %d != %d", s.EdgeCut, want)
+	}
+}
+
+func TestDecompose2DMesh(t *testing.T) {
+	// The pipeline must handle 2D meshes end to end.
+	m := meshgen.StructuredQuadGrid(meshgen.Grid2DSpec{Nx: 20, Ny: 20, H: geom.P2(1, 1)})
+	// Bottom edge as contact surface.
+	for _, f := range m.BoundaryFacets() {
+		mid := (m.Coords[f.Nodes[0]][1] + m.Coords[f.Nodes[1]][1]) / 2
+		if mid == 0 {
+			m.Surface = append(m.Surface, f)
+		}
+	}
+	if len(m.Surface) == 0 {
+		t.Fatal("no surface designated")
+	}
+	d, err := Decompose(m, Config{K: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Descriptor.Dim != 2 {
+		t.Errorf("descriptor dim = %d", d.Descriptor.Dim)
+	}
+	if imb := d.Stats().Imbalance[0]; imb > 1.2 {
+		t.Errorf("2D imbalance %v", imb)
+	}
+}
+
+func TestDecomposeGeometric(t *testing.T) {
+	m := testMesh(t)
+	d, err := Decompose(m, Config{K: 8, Seed: 1, Geometric: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphD, err := Decompose(m, Config{K: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, sm := d.Stats(), graphD.Stats()
+	// Geometric subdomains are boxes: descriptor trees stay in the same
+	// small regime as the reshaped multilevel pipeline's (on larger
+	// meshes they are typically smaller).
+	if sg.NTNodes > sm.NTNodes*3/2 {
+		t.Errorf("geometric NTNodes %d much larger than multilevel %d", sg.NTNodes, sm.NTNodes)
+	}
+	// The multilevel pipeline should win on communication volume.
+	if sg.FEComm < sm.FEComm {
+		t.Logf("note: geometric FEComm %d < multilevel %d on this mesh", sg.FEComm, sm.FEComm)
+	}
+	// Balance stays plausible on both constraints.
+	if sg.Imbalance[0] > 1.5 || sg.Imbalance[1] > 1.6 {
+		t.Errorf("geometric imbalance %v", sg.Imbalance)
+	}
+	t.Logf("geometric: vol=%d NT=%d imb=%v; multilevel: vol=%d NT=%d imb=%v",
+		sg.FEComm, sg.NTNodes, sg.Imbalance, sm.FEComm, sm.NTNodes, sm.Imbalance)
+}
+
+func TestRedecomposeMigratesBounded(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Scene.PlateNX, cfg.Scene.PlateNY, cfg.Scene.PlateNZ = 12, 12, 2
+	cfg.Scene.ProjN, cfg.Scene.ProjLen = 2, 6
+	cfg.Scene.ContactRadius = 4
+	cfg.Steps = 40
+	cfg.Snapshots = 4
+	snaps, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0, err := Decompose(snaps[0].Mesh, Config{K: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Carry labels to the last snapshot via persistent ids.
+	byID := map[int64]int32{}
+	for v, id := range snaps[0].NodeID {
+		byID[id] = d0.Labels[v]
+	}
+	last := snaps[len(snaps)-1]
+	prev := make([]int32, last.Mesh.NumNodes())
+	for v, id := range last.NodeID {
+		prev[v] = byID[id]
+	}
+	d1, migrated, err := Redecompose(last.Mesh, prev, Config{K: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if migrated > last.Mesh.NumNodes()/2 {
+		t.Errorf("redecompose migrated %d of %d nodes", migrated, last.Mesh.NumNodes())
+	}
+	s := d1.Stats()
+	if s.Imbalance[0] > 1.25 {
+		t.Errorf("post-redecompose imbalance %v", s.Imbalance)
+	}
+	if d1.Descriptor.NumNodes() < 1 {
+		t.Error("no descriptor after redecompose")
+	}
+}
+
+func TestRedecomposeValidates(t *testing.T) {
+	m := testMesh(t)
+	if _, _, err := Redecompose(m, nil, Config{K: 4}); err == nil {
+		t.Error("accepted wrong label length")
+	}
+	if _, _, err := Redecompose(m, make([]int32, m.NumNodes()), Config{K: 0}); err == nil {
+		t.Error("accepted K=0")
+	}
+}
+
+func TestWideGapsDescriptorStillSound(t *testing.T) {
+	m := testMesh(t)
+	d, err := Decompose(m, Config{K: 6, Seed: 11, WideGaps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The margin-aware tree classifies identically to the labels.
+	for i, p := range d.ContactPoints {
+		if d.Descriptor.PartOf(p) != d.ContactLabels[i] {
+			t.Fatal("wide-gap tree misclassifies a contact point")
+		}
+	}
+	base, err := Decompose(m, Config{K: 6, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same labels, so the trees have equal leaf populations even if
+	// cuts differ.
+	if d.Descriptor.NumLeaves() == 0 || base.Descriptor.NumLeaves() == 0 {
+		t.Fatal("degenerate trees")
+	}
+	t.Logf("wide-gap NT=%d baseline NT=%d", d.Descriptor.NumNodes(), base.Descriptor.NumNodes())
+}
+
+func TestReshapeActuallyChangesLabels(t *testing.T) {
+	m := testMesh(t)
+	d, err := Decompose(m, Config{K: 8, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for v := range d.Labels {
+		if d.Labels[v] != d.RawLabels[v] {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("reshaping changed no labels (guidance thresholds too small?)")
+	}
+	if changed > m.NumNodes()/2 {
+		t.Errorf("reshaping rewrote %d of %d labels", changed, m.NumNodes())
+	}
+}
+
+func TestNRemoteMonotoneInTolerance(t *testing.T) {
+	m := testMesh(t)
+	d, err := Decompose(m, Config{K: 6, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := d.NRemote(m, 0.1)
+	big := d.NRemote(m, 2.0)
+	if big < small {
+		t.Errorf("NRemote not monotone in tolerance: %d at 0.1, %d at 2.0", small, big)
+	}
+}

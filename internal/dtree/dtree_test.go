@@ -1,0 +1,542 @@
+package dtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// quadrants builds a 2x2 axis-aligned arrangement: points in each
+// quadrant of [0,10]^2 carry the quadrant's label — the friendliest
+// possible input (the tree needs only 3 nodes... 2 cuts -> 7 nodes max,
+// ideally 2 internal + ... exactly 2 cuts, so <= 7 nodes).
+func quadrants(n int, r *rand.Rand) ([]geom.Point, []int32) {
+	pts := make([]geom.Point, 0, n)
+	labels := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		x, y := r.Float64()*10, r.Float64()*10
+		// Keep a guard band around the axes so cuts are clean.
+		if x > 4.8 && x < 5.2 {
+			x += 0.5
+		}
+		if y > 4.8 && y < 5.2 {
+			y += 0.5
+		}
+		l := int32(0)
+		if x > 5 {
+			l |= 1
+		}
+		if y > 5 {
+			l |= 2
+		}
+		pts = append(pts, geom.P2(x, y))
+		labels = append(labels, l)
+	}
+	return pts, labels
+}
+
+func TestDescriptorPureLeaves(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	pts, labels := quadrants(400, r)
+	tree, err := Build(pts, labels, 2, 4, Options{Mode: Descriptor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tree.Nodes {
+		n := &tree.Nodes[i]
+		if !n.IsLeaf() {
+			continue
+		}
+		if !n.Pure {
+			t.Fatalf("descriptor leaf %d impure", i)
+		}
+		for _, p := range tree.LeafPoints(int32(i)) {
+			if labels[p] != n.Part {
+				t.Fatalf("leaf %d: point %d has label %d, leaf part %d", i, p, labels[p], n.Part)
+			}
+		}
+	}
+	// Axis-aligned quadrants need very few nodes.
+	if tree.NumNodes() > 9 {
+		t.Errorf("quadrants tree has %d nodes, want <= 9", tree.NumNodes())
+	}
+}
+
+func TestLeafOfConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	pts, labels := quadrants(300, r)
+	tree, err := Build(pts, labels, 2, 4, Options{Mode: Descriptor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if got := tree.LeafIndexOf(p); got != tree.LeafOf[i] {
+			t.Fatalf("point %d: LeafIndexOf = %d, LeafOf = %d", i, got, tree.LeafOf[i])
+		}
+		if got := tree.PartOf(p); got != labels[i] {
+			t.Fatalf("point %d: PartOf = %d, label = %d", i, got, labels[i])
+		}
+	}
+}
+
+func TestDiagonalBlowup(t *testing.T) {
+	// Figure 2 of the paper: a diagonal boundary forces a fine-grained
+	// space partition, so the tree on a diagonal split must be much
+	// larger than on an axis-parallel split of the same points.
+	n := 256
+	pts := make([]geom.Point, n)
+	diag := make([]int32, n)
+	axis := make([]int32, n)
+	r := rand.New(rand.NewSource(3))
+	for i := range pts {
+		x, y := r.Float64()*10, r.Float64()*10
+		pts[i] = geom.P2(x, y)
+		if y > x {
+			diag[i] = 1
+		}
+		if y > 5 {
+			axis[i] = 1
+		}
+	}
+	dTree, err := Build(pts, diag, 2, 2, Options{Mode: Descriptor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aTree, err := Build(pts, axis, 2, 2, Options{Mode: Descriptor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dTree.NumNodes() < 4*aTree.NumNodes() {
+		t.Errorf("diagonal tree %d nodes vs axis tree %d nodes: expected a big blowup",
+			dTree.NumNodes(), aTree.NumNodes())
+	}
+}
+
+func TestGuidanceThresholds(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	pts, labels := quadrants(1000, r)
+	// MaxPure small: pure regions keep splitting to below 50 points.
+	tree, err := Build(pts, labels, 2, 4, Options{Mode: Guidance, MaxPure: 50, MaxImpure: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tree.Nodes {
+		n := &tree.Nodes[i]
+		if !n.IsLeaf() {
+			continue
+		}
+		sz := int(n.Hi - n.Lo)
+		if n.Pure && sz >= 50 {
+			// Only allowed if the leaf was unsplittable (all coords equal).
+			pset := tree.LeafPoints(int32(i))
+			first := pts[pset[0]]
+			for _, p := range pset {
+				if pts[p] != first {
+					t.Fatalf("pure leaf %d has %d >= MaxPure splittable points", i, sz)
+				}
+			}
+		}
+		if !n.Pure && sz >= 10 {
+			// Impure leaves of >= MaxImpure points only if unsplittable.
+			pset := tree.LeafPoints(int32(i))
+			first := pts[pset[0]]
+			for _, p := range pset {
+				if pts[p] != first {
+					t.Fatalf("impure leaf %d has %d >= MaxImpure splittable points", i, sz)
+				}
+			}
+		}
+	}
+}
+
+func TestGuidanceRequiresThresholds(t *testing.T) {
+	pts := []geom.Point{geom.P2(0, 0), geom.P2(1, 1)}
+	labels := []int32{0, 1}
+	if _, err := Build(pts, labels, 2, 2, Options{Mode: Guidance}); err == nil {
+		t.Error("guidance mode accepted zero thresholds")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	pts := []geom.Point{geom.P2(0, 0)}
+	if _, err := Build(pts, []int32{0}, 4, 1, Options{}); err == nil {
+		t.Error("accepted dim=4")
+	}
+	if _, err := Build(pts, []int32{0}, 2, 0, Options{}); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := Build(pts, []int32{}, 2, 1, Options{}); err == nil {
+		t.Error("accepted length mismatch")
+	}
+	if _, err := Build(pts, []int32{5}, 2, 2, Options{}); err == nil {
+		t.Error("accepted out-of-range label")
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	tree, err := Build(nil, nil, 2, 3, Options{Mode: Descriptor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumNodes() != 0 {
+		t.Errorf("empty tree has %d nodes", tree.NumNodes())
+	}
+	tree.VisitLeavesIntersecting(geom.AABB{Min: geom.P2(0, 0), Max: geom.P2(1, 1)}, func(int32) {
+		t.Error("empty tree visited a leaf")
+	})
+
+	tree1, err := Build([]geom.Point{geom.P2(1, 2)}, []int32{2}, 2, 3, Options{Mode: Descriptor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree1.NumNodes() != 1 || !tree1.Nodes[0].IsLeaf() || tree1.Nodes[0].Part != 2 {
+		t.Errorf("singleton tree wrong: %+v", tree1.Nodes)
+	}
+}
+
+func TestCoincidentMixedLabels(t *testing.T) {
+	// Identical coordinates with different labels cannot be separated:
+	// the build must terminate with an impure leaf, and
+	// PartsIntersecting must report *both* labels (no false negatives).
+	pts := []geom.Point{geom.P2(1, 1), geom.P2(1, 1), geom.P2(3, 3)}
+	labels := []int32{0, 1, 0}
+	tree, err := Build(pts, labels, 2, 2, Options{Mode: Descriptor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]bool, 2)
+	tree.PartsIntersecting(geom.AABB{Min: geom.P2(0.9, 0.9), Max: geom.P2(1.1, 1.1)}, labels, out)
+	if !out[0] || !out[1] {
+		t.Errorf("impure leaf query missed a label: %v", out)
+	}
+}
+
+func TestVisitLeavesFindsContainingLeaf(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	pts, labels := quadrants(500, r)
+	tree, err := Build(pts, labels, 2, 4, Options{Mode: Descriptor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A degenerate box at each point must visit that point's leaf.
+	for i, p := range pts {
+		found := false
+		want := tree.LeafOf[i]
+		tree.VisitLeavesIntersecting(geom.AABB{Min: p, Max: p}, func(leaf int32) {
+			if leaf == want {
+				found = true
+			}
+		})
+		if !found {
+			t.Fatalf("point %d: box query missed its own leaf", i)
+		}
+	}
+}
+
+func TestPartsIntersectingNoFalseNegatives(t *testing.T) {
+	// Core search-correctness property: for any box, every label of a
+	// point inside the box must be reported.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 20 + r.Intn(200)
+		k := 2 + r.Intn(6)
+		dim := 2 + r.Intn(2)
+		pts := make([]geom.Point, n)
+		labels := make([]int32, n)
+		for i := range pts {
+			pts[i][0] = r.Float64() * 10
+			pts[i][1] = r.Float64() * 10
+			if dim == 3 {
+				pts[i][2] = r.Float64() * 10
+			}
+			labels[i] = int32(r.Intn(k))
+		}
+		tree, err := Build(pts, labels, dim, k, Options{Mode: Descriptor})
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 10; trial++ {
+			var b geom.AABB
+			c := pts[r.Intn(n)]
+			half := r.Float64() * 3
+			b.Min = c.Sub(geom.Point{half, half, half})
+			b.Max = c.Add(geom.Point{half, half, half})
+			if dim == 2 {
+				b.Min[2], b.Max[2] = 0, 0
+			}
+			got := make([]bool, k)
+			tree.PartsIntersecting(b, labels, got)
+			for i, p := range pts {
+				if b.Contains(p, dim) && !got[labels[i]] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: leaf regions tile the root box and every point's leaf
+// region contains it.
+func TestQuickLeafRegionsTile(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 10 + r.Intn(150)
+		pts := make([]geom.Point, n)
+		labels := make([]int32, n)
+		for i := range pts {
+			pts[i] = geom.P2(r.Float64()*8, r.Float64()*8)
+			labels[i] = int32(r.Intn(3))
+		}
+		tree, err := Build(pts, labels, 2, 3, Options{Mode: Descriptor})
+		if err != nil {
+			return false
+		}
+		root := geom.BoxOf(pts)
+		regions := tree.LeafRegions(root)
+		var area float64
+		for i := range tree.Nodes {
+			if tree.Nodes[i].IsLeaf() {
+				area += regions[i].Volume(2)
+				for _, p := range tree.LeafPoints(int32(i)) {
+					if !regions[i].Contains(pts[p], 2) {
+						return false
+					}
+				}
+			}
+		}
+		total := root.Volume(2)
+		return area > total*(1-1e-9) && area < total*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	n := 40000
+	pts := make([]geom.Point, n)
+	labels := make([]int32, n)
+	for i := range pts {
+		pts[i] = geom.P3(r.Float64()*10, r.Float64()*10, r.Float64()*10)
+		labels[i] = int32(r.Intn(8))
+	}
+	seq, err := Build(pts, labels, 3, 8, Options{Mode: Descriptor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Build(pts, labels, 3, 8, Options{Mode: Descriptor, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.NumNodes() != par.NumNodes() || seq.NumLeaves() != par.NumLeaves() {
+		t.Fatalf("parallel build differs: %d/%d nodes vs %d/%d",
+			par.NumNodes(), par.NumLeaves(), seq.NumNodes(), seq.NumLeaves())
+	}
+	for i := range pts {
+		if seq.PartOf(pts[i]) != par.PartOf(pts[i]) {
+			t.Fatal("parallel tree classifies differently")
+		}
+	}
+}
+
+func TestHeightAndLeafCount(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	pts, labels := quadrants(200, r)
+	tree, err := Build(pts, labels, 2, 4, Options{Mode: Descriptor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Binary tree: nodes = 2*leaves - 1.
+	if tree.NumNodes() != 2*tree.NumLeaves()-1 {
+		t.Errorf("nodes = %d, leaves = %d", tree.NumNodes(), tree.NumLeaves())
+	}
+	if h := tree.Height(); h < 2 || h > tree.NumNodes() {
+		t.Errorf("height = %d", h)
+	}
+}
+
+func TestSplittingIndexAgainstBruteForce(t *testing.T) {
+	// The incremental Eq.1 sweep must agree with a brute-force
+	// evaluation of the chosen split.
+	r := rand.New(rand.NewSource(9))
+	pts := make([]geom.Point, 60)
+	labels := make([]int32, 60)
+	for i := range pts {
+		pts[i] = geom.P2(r.Float64()*4, r.Float64()*4)
+		labels[i] = int32(r.Intn(3))
+	}
+	tree, err := Build(pts, labels, 2, 3, Options{Mode: Descriptor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tree.Nodes[0]
+	if root.IsLeaf() {
+		t.Skip("degenerate: root is a leaf")
+	}
+	// Brute force: evaluate Eq.1 for every candidate cut in both dims;
+	// the root's chosen score must be maximal.
+	score := func(d int, cut float64) float64 {
+		var l, rr [3]float64
+		for i, p := range pts {
+			if p[d] <= cut {
+				l[labels[i]]++
+			} else {
+				rr[labels[i]]++
+			}
+		}
+		var sl, sr float64
+		for i := 0; i < 3; i++ {
+			sl += l[i] * l[i]
+			sr += rr[i] * rr[i]
+		}
+		return math.Sqrt(sl) + math.Sqrt(sr)
+	}
+	best := 0.0
+	for d := 0; d < 2; d++ {
+		for _, p := range pts {
+			if s := score(d, p[d]); s > best {
+				best = s
+			}
+		}
+	}
+	got := score(int(root.SplitDim), root.Cut)
+	if got < best-1e-9 {
+		t.Errorf("root split score %g, brute force best %g", got, best)
+	}
+}
+
+func TestPreferWideGaps(t *testing.T) {
+	// Two clusters with a wide empty band between them; many candidate
+	// cuts achieve a perfect split, and the gap-aware variant must pick
+	// one inside the band, far from both clusters.
+	var pts []geom.Point
+	var labels []int32
+	r := rand.New(rand.NewSource(12))
+	for i := 0; i < 40; i++ {
+		pts = append(pts, geom.P2(r.Float64(), r.Float64()*10))
+		labels = append(labels, 0)
+	}
+	for i := 0; i < 40; i++ {
+		pts = append(pts, geom.P2(9+r.Float64(), r.Float64()*10))
+		labels = append(labels, 1)
+	}
+	tree, err := Build(pts, labels, 2, 2, Options{Mode: Descriptor, PreferWideGaps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tree.Nodes[0]
+	if root.IsLeaf() {
+		t.Fatal("no split")
+	}
+	if root.SplitDim != 0 {
+		t.Fatalf("split dim %d, want 0", root.SplitDim)
+	}
+	// The wide-gap cut must fall well inside (1, 9).
+	if root.Cut < 2 || root.Cut > 8 {
+		t.Errorf("cut %g not centered in the empty band", root.Cut)
+	}
+	// The greedy default may cut anywhere that separates the clusters;
+	// both trees must still classify every point correctly.
+	def, err := Build(pts, labels, 2, 2, Options{Mode: Descriptor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if tree.PartOf(p) != labels[i] || def.PartOf(p) != labels[i] {
+			t.Fatal("misclassification")
+		}
+	}
+}
+
+func TestPreferWideGapsReducesBoundaryOverlap(t *testing.T) {
+	// A query box hugging cluster 0's edge should NOT reach the cut
+	// when the cut sits mid-band.
+	var pts []geom.Point
+	var labels []int32
+	for i := 0; i < 20; i++ {
+		pts = append(pts, geom.P2(float64(i)*0.05, float64(i)))
+		labels = append(labels, 0)
+		pts = append(pts, geom.P2(10+float64(i)*0.05, float64(i)))
+		labels = append(labels, 1)
+	}
+	wide, err := Build(pts, labels, 2, 2, Options{Mode: Descriptor, PreferWideGaps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Box just right of cluster 0, inflated by 2 (well short of the
+	// mid-band cut at ~5.5).
+	q := geom.AABB{Min: geom.P2(0.9, 0), Max: geom.P2(3, 19)}
+	out := make([]bool, 2)
+	wide.PartsIntersecting(q, labels, out)
+	if out[1] {
+		t.Error("wide-gap tree still reports the far partition for a near-boundary box")
+	}
+}
+
+// Property: PreferWideGaps never changes what the tree classifies,
+// only where the cuts sit.
+func TestQuickWideGapsClassificationInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 20 + r.Intn(150)
+		k := 2 + r.Intn(4)
+		pts := make([]geom.Point, n)
+		labels := make([]int32, n)
+		for i := range pts {
+			pts[i] = geom.P2(r.Float64()*10, r.Float64()*10)
+			labels[i] = int32(r.Intn(k))
+		}
+		a, err := Build(pts, labels, 2, k, Options{Mode: Descriptor})
+		if err != nil {
+			return false
+		}
+		b, err := Build(pts, labels, 2, k, Options{Mode: Descriptor, PreferWideGaps: true})
+		if err != nil {
+			return false
+		}
+		for i, p := range pts {
+			if a.PartOf(p) != labels[i] || b.PartOf(p) != labels[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeafPointsPartitionPerm(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	pts, labels := quadrants(200, r)
+	tree, err := Build(pts, labels, 2, 4, Options{Mode: Descriptor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leaf point ranges tile Perm exactly once.
+	seen := make([]bool, len(pts))
+	for i := range tree.Nodes {
+		if !tree.Nodes[i].IsLeaf() {
+			continue
+		}
+		for _, p := range tree.LeafPoints(int32(i)) {
+			if seen[p] {
+				t.Fatalf("point %d in two leaves", p)
+			}
+			seen[p] = true
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("point %d in no leaf", i)
+		}
+	}
+}

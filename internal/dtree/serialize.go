@@ -1,0 +1,183 @@
+package dtree
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary encoding of a decision tree. Section 4.1.1 notes the tree
+// must be "built in parallel and communicated to all the processors";
+// this is the wire format for that broadcast. The encoding carries the
+// node array plus the per-leaf point permutation, so impure-leaf
+// queries keep working after a round trip (given the same labels).
+
+const (
+	treeMagic   = uint32(0x44545245) // "DTRE"
+	treeVersion = uint8(1)
+)
+
+// WriteTo encodes the tree; it implements io.WriterTo.
+func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	le := binary.LittleEndian
+
+	put32 := func(v uint32) {
+		var b [4]byte
+		le.PutUint32(b[:], v)
+		bw.Write(b[:])
+	}
+	put64 := func(v uint64) {
+		var b [8]byte
+		le.PutUint64(b[:], v)
+		bw.Write(b[:])
+	}
+
+	put32(treeMagic)
+	bw.WriteByte(treeVersion)
+	bw.WriteByte(uint8(t.Dim))
+	put32(uint32(t.K))
+	put32(uint32(len(t.Nodes)))
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		bw.WriteByte(uint8(n.SplitDim))
+		if n.Pure {
+			bw.WriteByte(1)
+		} else {
+			bw.WriteByte(0)
+		}
+		put64(math.Float64bits(n.Cut))
+		put32(uint32(n.Left))
+		put32(uint32(n.Right))
+		put32(uint32(n.Part))
+		put32(uint32(n.Lo))
+		put32(uint32(n.Hi))
+	}
+	put32(uint32(len(t.Perm)))
+	for _, p := range t.Perm {
+		put32(uint32(p))
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ReadTree decodes a tree written by WriteTo and rebuilds the LeafOf
+// index.
+func ReadTree(r io.Reader) (*Tree, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+	var err error
+	get32 := func() uint32 {
+		if err != nil {
+			return 0
+		}
+		var b [4]byte
+		if _, e := io.ReadFull(br, b[:]); e != nil {
+			err = e
+			return 0
+		}
+		return le.Uint32(b[:])
+	}
+	get64 := func() uint64 {
+		if err != nil {
+			return 0
+		}
+		var b [8]byte
+		if _, e := io.ReadFull(br, b[:]); e != nil {
+			err = e
+			return 0
+		}
+		return le.Uint64(b[:])
+	}
+	getByte := func() uint8 {
+		if err != nil {
+			return 0
+		}
+		b, e := br.ReadByte()
+		if e != nil {
+			err = e
+			return 0
+		}
+		return b
+	}
+
+	if magic := get32(); err == nil && magic != treeMagic {
+		return nil, fmt.Errorf("dtree: bad magic %#x", magic)
+	}
+	if v := getByte(); err == nil && v != treeVersion {
+		return nil, fmt.Errorf("dtree: unsupported version %d", v)
+	}
+	t := &Tree{Dim: int(getByte()), K: int(get32())}
+	if err == nil && (t.Dim < 2 || t.Dim > 3 || t.K < 1) {
+		return nil, fmt.Errorf("dtree: bad header dim=%d k=%d", t.Dim, t.K)
+	}
+	const maxCount = 1 << 28
+	nn := get32()
+	if err == nil && nn > maxCount {
+		return nil, fmt.Errorf("dtree: implausible node count %d", nn)
+	}
+	t.Nodes = make([]Node, nn)
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		n.SplitDim = int8(getByte())
+		n.Pure = getByte() != 0
+		n.Cut = math.Float64frombits(get64())
+		n.Left = int32(get32())
+		n.Right = int32(get32())
+		n.Part = int32(get32())
+		n.Lo = int32(get32())
+		n.Hi = int32(get32())
+	}
+	np := get32()
+	if err == nil && np > maxCount {
+		return nil, fmt.Errorf("dtree: implausible perm length %d", np)
+	}
+	t.Perm = make([]int32, np)
+	for i := range t.Perm {
+		t.Perm[i] = int32(get32())
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dtree: decode: %w", err)
+	}
+
+	// Structural validation + LeafOf reconstruction.
+	t.LeafOf = make([]int32, len(t.Perm))
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		if n.IsLeaf() {
+			if n.Lo < 0 || n.Hi < n.Lo || int(n.Hi) > len(t.Perm) {
+				return nil, fmt.Errorf("dtree: leaf %d has range [%d,%d)", i, n.Lo, n.Hi)
+			}
+			for _, p := range t.Perm[n.Lo:n.Hi] {
+				if p < 0 || int(p) >= len(t.Perm) {
+					return nil, fmt.Errorf("dtree: leaf %d references point %d", i, p)
+				}
+				t.LeafOf[p] = int32(i)
+			}
+			continue
+		}
+		if n.Left <= 0 || n.Right <= 0 || int(n.Left) >= len(t.Nodes) || int(n.Right) >= len(t.Nodes) {
+			return nil, fmt.Errorf("dtree: node %d has children %d, %d", i, n.Left, n.Right)
+		}
+		if int(n.SplitDim) < 0 || int(n.SplitDim) >= t.Dim {
+			return nil, fmt.Errorf("dtree: node %d splits dim %d in %dD", i, n.SplitDim, t.Dim)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,119 @@
+package dtree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func buildSample(t *testing.T, n, k int, seed int64) (*Tree, []geom.Point, []int32) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	labels := make([]int32, n)
+	for i := range pts {
+		pts[i] = geom.P3(r.Float64()*10, r.Float64()*10, r.Float64()*10)
+		labels[i] = int32(r.Intn(k))
+	}
+	tree, err := Build(pts, labels, 3, k, Options{Mode: Descriptor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, pts, labels
+}
+
+func TestTreeRoundTrip(t *testing.T) {
+	tree, pts, labels := buildSample(t, 300, 5, 1)
+	var buf bytes.Buffer
+	if _, err := tree.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTree(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim != tree.Dim || got.K != tree.K || got.NumNodes() != tree.NumNodes() {
+		t.Fatalf("header mismatch: %d/%d/%d", got.Dim, got.K, got.NumNodes())
+	}
+	// Every point classifies identically, and box queries agree.
+	for i, p := range pts {
+		if got.LeafIndexOf(p) != tree.LeafIndexOf(p) {
+			t.Fatalf("point %d lands in a different leaf after round trip", i)
+		}
+		if got.LeafOf[i] != tree.LeafOf[i] {
+			t.Fatalf("LeafOf[%d] differs", i)
+		}
+	}
+	q := geom.AABB{Min: geom.P3(2, 2, 2), Max: geom.P3(5, 5, 5)}
+	a := make([]bool, 5)
+	b := make([]bool, 5)
+	tree.PartsIntersecting(q, labels, a)
+	got.PartsIntersecting(q, labels, b)
+	for p := range a {
+		if a[p] != b[p] {
+			t.Fatalf("box query differs at partition %d", p)
+		}
+	}
+}
+
+func TestTreeRoundTripEmpty(t *testing.T) {
+	tree, err := Build(nil, nil, 2, 3, Options{Mode: Descriptor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tree.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTree(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != 0 {
+		t.Fatalf("empty tree decoded with %d nodes", got.NumNodes())
+	}
+}
+
+func TestReadTreeRejectsGarbage(t *testing.T) {
+	if _, err := ReadTree(bytes.NewReader([]byte("junk junk junk junk junk"))); err == nil {
+		t.Error("accepted garbage")
+	}
+	if _, err := ReadTree(bytes.NewReader(nil)); err == nil {
+		t.Error("accepted empty stream")
+	}
+	// Truncation.
+	tree, _, _ := buildSample(t, 100, 3, 2)
+	var buf bytes.Buffer
+	if _, err := tree.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTree(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Error("accepted truncated stream")
+	}
+}
+
+func TestReadTreeRejectsCorruptStructure(t *testing.T) {
+	tree, _, _ := buildSample(t, 50, 3, 3)
+	if tree.NumNodes() < 3 {
+		t.Skip("degenerate tree")
+	}
+	var buf bytes.Buffer
+	if _, err := tree.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a child pointer to point at itself (cycle): node records
+	// start at offset 4+1+1+4+4 = 14; each is 1+1+8+4+4+4+4+4 = 30 bytes;
+	// Left is at record offset 10.
+	raw := append([]byte(nil), buf.Bytes()...)
+	rec0 := 14
+	leftOff := rec0 + 10
+	raw[leftOff] = 0 // Left = 0 (the root itself)
+	raw[leftOff+1] = 0
+	raw[leftOff+2] = 0
+	raw[leftOff+3] = 0
+	if _, err := ReadTree(bytes.NewReader(raw)); err == nil {
+		t.Error("accepted a self-referential root")
+	}
+}

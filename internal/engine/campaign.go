@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// CampaignConfig drives a whole snapshot sequence through the parallel
+// engine, using the paper's update strategies between iterations.
+type CampaignConfig struct {
+	K    int
+	Seed int64
+	// Tol is the narrow-phase contact tolerance.
+	Tol float64
+	// RepartitionEvery re-runs the full MCML+DT pipeline every R
+	// snapshots (0 = only at snapshot 0); between repartitions the
+	// partition is carried via persistent node ids and only the
+	// descriptor tree is re-induced (Section 4.3).
+	RepartitionEvery int
+}
+
+// CampaignResult aggregates the engine runs over the sequence.
+type CampaignResult struct {
+	Snapshots    int
+	GhostUnits   int64
+	ElemsShipped int64
+	TreeBytes    int64
+	PairsTotal   int64
+	// PerSnapshot keeps each iteration's stats for inspection.
+	PerSnapshot []*Stats
+}
+
+// RunCampaign executes one parallel iteration per snapshot.
+func RunCampaign(snaps []sim.Snapshot, cfg CampaignConfig) (*CampaignResult, error) {
+	if len(snaps) == 0 {
+		return nil, fmt.Errorf("engine: no snapshots")
+	}
+	coreCfg := core.Config{K: cfg.K, Seed: cfg.Seed, Parallel: true}
+
+	var byID map[int64]int32
+	decompose := func(sn sim.Snapshot) (*core.Decomposition, error) {
+		d, err := core.Decompose(sn.Mesh, coreCfg)
+		if err != nil {
+			return nil, err
+		}
+		byID = make(map[int64]int32, len(sn.NodeID))
+		for v, id := range sn.NodeID {
+			byID[id] = d.Labels[v]
+		}
+		return d, nil
+	}
+
+	res := &CampaignResult{Snapshots: len(snaps)}
+	var d *core.Decomposition
+	var err error
+	for t, sn := range snaps {
+		if t == 0 || (cfg.RepartitionEvery > 0 && t%cfg.RepartitionEvery == 0) {
+			d, err = decompose(sn)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			// Carry the partition, refresh only the descriptors —
+			// rebuilding a lightweight Decomposition for this mesh.
+			labels := make([]int32, sn.Mesh.NumNodes())
+			for v, id := range sn.NodeID {
+				labels[v] = byID[id]
+			}
+			tree, nodes, pts, cl, derr := core.DescriptorFor(sn.Mesh, labels, coreCfg)
+			if derr != nil {
+				return nil, derr
+			}
+			d = &core.Decomposition{
+				Cfg:           d.Cfg,
+				Graph:         sn.Mesh.NodalGraph(d.Cfg.Nodal),
+				Labels:        labels,
+				Descriptor:    tree,
+				ContactNodes:  nodes,
+				ContactPoints: pts,
+				ContactLabels: cl,
+			}
+		}
+		st, err := Run(sn.Mesh, d, cfg.Tol)
+		if err != nil {
+			return nil, err
+		}
+		res.GhostUnits += st.GhostUnits
+		res.ElemsShipped += st.ElemsShipped
+		res.TreeBytes += st.TreeBytes
+		res.PairsTotal += int64(len(st.Pairs))
+		res.PerSnapshot = append(res.PerSnapshot, st)
+	}
+	return res, nil
+}

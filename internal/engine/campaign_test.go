@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/contact"
+	"repro/internal/sim"
+)
+
+func campaignSnaps(t *testing.T) []sim.Snapshot {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Scene.PlateNX, cfg.Scene.PlateNY, cfg.Scene.PlateNZ = 10, 10, 2
+	cfg.Scene.ProjN, cfg.Scene.ProjLen = 2, 6
+	cfg.Scene.ContactRadius = 3
+	cfg.Steps = 40
+	cfg.Snapshots = 4
+	snaps, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snaps
+}
+
+func TestCampaignRuns(t *testing.T) {
+	snaps := campaignSnaps(t)
+	res, err := RunCampaign(snaps, CampaignConfig{K: 5, Seed: 1, Tol: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshots != 4 || len(res.PerSnapshot) != 4 {
+		t.Fatalf("snapshots = %d", res.Snapshots)
+	}
+	if res.GhostUnits <= 0 || res.TreeBytes <= 0 {
+		t.Errorf("missing traffic: %+v", res)
+	}
+	// Every per-snapshot detection must match serial detection.
+	for i, st := range res.PerSnapshot {
+		serial := contact.DetectContacts(snaps[i].Mesh, 0.5)
+		if len(st.Pairs) != len(serial) {
+			t.Fatalf("snapshot %d: parallel %d pairs, serial %d", i, len(st.Pairs), len(serial))
+		}
+	}
+}
+
+func TestCampaignWithRepartitioning(t *testing.T) {
+	snaps := campaignSnaps(t)
+	res, err := RunCampaign(snaps, CampaignConfig{K: 4, Seed: 2, Tol: 0.5, RepartitionEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshots != 4 {
+		t.Fatalf("snapshots = %d", res.Snapshots)
+	}
+}
+
+func TestCampaignEmpty(t *testing.T) {
+	if _, err := RunCampaign(nil, CampaignConfig{K: 2, Tol: 0.5}); err == nil {
+		t.Error("accepted empty sequence")
+	}
+}

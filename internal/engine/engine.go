@@ -1,0 +1,315 @@
+// Package engine executes one iteration of the parallel contact/impact
+// computation that the paper's decompositions exist to serve, using k
+// concurrent workers that communicate only by message passing
+// (channels standing in for MPI ranks):
+//
+//	phase 1 (FE):       each worker updates its own nodes and sends
+//	                    ghost copies of boundary nodes to the
+//	                    partitions that neighbor them — the traffic
+//	                    FEComm predicts;
+//	phase 2 (global search): the contact-point decision tree is
+//	                    *broadcast* (serialized and re-parsed per
+//	                    worker, as Section 4.1.1 requires), each worker
+//	                    filters its surface elements through it and
+//	                    ships them to candidate partitions — the
+//	                    traffic NRemote predicts;
+//	phase 3 (local search): each worker runs exact narrow-phase
+//	                    detection between its own and received
+//	                    elements.
+//
+// The engine reports the realized communication volumes so tests can
+// assert they equal the analytic metrics, and the detected contact
+// pairs so tests can assert parity with serial detection.
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/contact"
+	"repro/internal/core"
+	"repro/internal/dtree"
+	"repro/internal/geom"
+	"repro/internal/mesh"
+)
+
+// Stats is the outcome of one parallel iteration.
+type Stats struct {
+	K int
+	// GhostUnits counts (node, destination-partition) copies sent in
+	// phase 1; it equals metrics.CommVolume of the nodal partition.
+	GhostUnits int64
+	// ElemsShipped counts (surface element, destination) shipments in
+	// phase 2; it equals the NRemote metric for the same filter.
+	ElemsShipped int64
+	// TreeBytes is the size of the serialized descriptor broadcast to
+	// every worker.
+	TreeBytes int64
+	// Pairs are the contacts detected across all workers, deduplicated
+	// and sorted (A < B).
+	Pairs []contact.Pair
+	// PerWorker holds per-rank tallies.
+	PerWorker []WorkerStats
+}
+
+// WorkerStats tallies one worker's traffic.
+type WorkerStats struct {
+	OwnedNodes    int
+	OwnedElems    int
+	GhostsSent    int64
+	GhostsRecv    int64
+	ElemsSent     int64
+	ElemsRecv     int64
+	PairsDetected int
+}
+
+// ghostMsg carries boundary-node data from one rank to another.
+type ghostMsg struct {
+	from  int
+	nodes []int32 // node ids (payload stands in for coordinates/forces)
+}
+
+// elemMsg carries shipped surface elements.
+type elemMsg struct {
+	from  int
+	elems []int32 // surface element indices
+}
+
+// Run executes one iteration for the decomposition d of mesh m.
+// tol is the narrow-phase contact tolerance; element shipping uses the
+// sound inflation tol + MaxFacetDiameter so no contact can be lost.
+func Run(m *mesh.Mesh, d *core.Decomposition, tol float64) (*Stats, error) {
+	k := d.Cfg.K
+	if k < 1 {
+		return nil, fmt.Errorf("engine: k = %d", k)
+	}
+	labels := d.Labels
+
+	// Broadcast the descriptor tree: serialize once, parse per worker.
+	var treeBuf bytes.Buffer
+	if _, err := d.Descriptor.WriteTo(&treeBuf); err != nil {
+		return nil, err
+	}
+	treeBytes := int64(treeBuf.Len())
+
+	owners := contact.SurfaceOwners(m, labels)
+	searchTol := tol + contact.MaxFacetDiameter(m)
+	boxes := contact.SurfaceBoxes(m, searchTol)
+
+	// Ownership tables.
+	nodesOf := make([][]int32, k)
+	for v := 0; v < m.NumNodes(); v++ {
+		p := labels[v]
+		nodesOf[p] = append(nodesOf[p], int32(v))
+	}
+	elemsOf := make([][]int32, k)
+	for e, p := range owners {
+		elemsOf[p] = append(elemsOf[p], int32(e))
+	}
+
+	// Phase-1 send lists: node v goes to every distinct neighbor
+	// partition (computed from the nodal graph adjacency).
+	g := d.Graph
+	ghostSend := make([][][]int32, k) // [from][to] -> nodes
+	for p := 0; p < k; p++ {
+		ghostSend[p] = make([][]int32, k)
+	}
+	seen := make([]int32, k)
+	stamp := int32(0)
+	for v := 0; v < m.NumNodes(); v++ {
+		own := labels[v]
+		stamp++
+		for _, u := range g.Neighbors(v) {
+			if p := labels[u]; p != own && seen[p] != stamp {
+				seen[p] = stamp
+				ghostSend[own][p] = append(ghostSend[own][p], int32(v))
+			}
+		}
+	}
+
+	// Channels: one inbox per worker per phase, buffered for all ranks.
+	ghostIn := make([]chan ghostMsg, k)
+	elemIn := make([]chan elemMsg, k)
+	for p := 0; p < k; p++ {
+		ghostIn[p] = make(chan ghostMsg, k)
+		elemIn[p] = make(chan elemMsg, k)
+	}
+
+	stats := &Stats{K: k, TreeBytes: treeBytes, PerWorker: make([]WorkerStats, k)}
+	pairsCh := make(chan []contact.Pair, k)
+	errCh := make(chan error, k)
+	var wg sync.WaitGroup
+
+	for p := 0; p < k; p++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			ws := &stats.PerWorker[rank]
+			ws.OwnedNodes = len(nodesOf[rank])
+			ws.OwnedElems = len(elemsOf[rank])
+
+			// --- Phase 1: ghost exchange (all-to-all personalized). ---
+			for to := 0; to < k; to++ {
+				if to == rank {
+					continue
+				}
+				msg := ghostMsg{from: rank, nodes: ghostSend[rank][to]}
+				ws.GhostsSent += int64(len(msg.nodes))
+				ghostIn[to] <- msg
+			}
+			for i := 0; i < k-1; i++ {
+				msg := <-ghostIn[rank]
+				ws.GhostsRecv += int64(len(msg.nodes))
+			}
+
+			// --- Phase 2: global search. Parse the broadcast tree and
+			// filter our own surface elements through it. ---
+			tree, err := dtree.ReadTree(bytes.NewReader(treeBuf.Bytes()))
+			if err != nil {
+				errCh <- err
+				// Keep the all-to-all pattern alive so peers don't block.
+				for to := 0; to < k; to++ {
+					if to != rank {
+						elemIn[to] <- elemMsg{from: rank}
+					}
+				}
+				for i := 0; i < k-1; i++ {
+					<-elemIn[rank]
+				}
+				pairsCh <- nil
+				return
+			}
+			filter := &contact.TreeFilter{
+				Tree:       tree,
+				Labels:     d.ContactLabels,
+				TightBoxes: tree.PointBoxes(d.ContactPoints),
+			}
+			sendElems := make([][]int32, k)
+			mark := make([]bool, k)
+			for _, e := range elemsOf[rank] {
+				filter.PartsFor(boxes[e], mark)
+				for to := 0; to < k; to++ {
+					if mark[to] {
+						if to != rank {
+							sendElems[to] = append(sendElems[to], e)
+						}
+						mark[to] = false
+					}
+				}
+			}
+			var received []int32
+			for to := 0; to < k; to++ {
+				if to == rank {
+					continue
+				}
+				ws.ElemsSent += int64(len(sendElems[to]))
+				elemIn[to] <- elemMsg{from: rank, elems: sendElems[to]}
+			}
+			for i := 0; i < k-1; i++ {
+				msg := <-elemIn[rank]
+				ws.ElemsRecv += int64(len(msg.elems))
+				received = append(received, msg.elems...)
+			}
+
+			// --- Phase 3: local search over own + received elements.
+			// Report a pair only when this rank owns its A side (the
+			// lower element id's owner), so the global set is exact. ---
+			pairs := localSearch(m, boxes, owners, elemsOf[rank], received, rank, tol)
+			ws.PairsDetected = len(pairs)
+			pairsCh <- pairs
+		}(p)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Collect and deduplicate pairs.
+	dedup := map[[2]int32]float64{}
+	for p := 0; p < k; p++ {
+		for _, pr := range <-pairsCh {
+			dedup[[2]int32{pr.A, pr.B}] = pr.Dist
+		}
+	}
+	for ab, dist := range dedup {
+		stats.Pairs = append(stats.Pairs, contact.Pair{A: ab[0], B: ab[1], Dist: dist})
+	}
+	sort.Slice(stats.Pairs, func(i, j int) bool {
+		if stats.Pairs[i].A != stats.Pairs[j].A {
+			return stats.Pairs[i].A < stats.Pairs[j].A
+		}
+		return stats.Pairs[i].B < stats.Pairs[j].B
+	})
+
+	for p := 0; p < k; p++ {
+		stats.GhostUnits += stats.PerWorker[p].GhostsSent
+		stats.ElemsShipped += stats.PerWorker[p].ElemsSent
+	}
+	return stats, nil
+}
+
+// localSearch runs the narrow phase at one rank: every pair of
+// elements among own ∪ received whose inflated boxes intersect is
+// tested exactly; a pair is reported when its exact distance is within
+// tol, it does not share mesh nodes, and this rank owns the pair's
+// canonical side (the owner of the smaller element id), which makes
+// the union over ranks duplicate-free... except that the canonical
+// owner must have seen both elements; when it has not (the other side
+// was shipped only the other way), the rank owning the larger id
+// reports instead. The reporting rule is: report if rank owns A, or
+// rank owns B and A was received here (then only if rank != owner(A)).
+func localSearch(m *mesh.Mesh, boxes []geom.AABB, owners []int32, own, received []int32, rank int, tol float64) []contact.Pair {
+	all := make([]int32, 0, len(own)+len(received))
+	all = append(all, own...)
+	all = append(all, received...)
+	sub := make([]geom.AABB, len(all))
+	for i, e := range all {
+		sub[i] = boxes[e]
+	}
+	bvh := contact.NewBVH(sub, m.Dim)
+
+	facet := func(i int32) []geom.Point {
+		s := m.Surface[i]
+		pts := make([]geom.Point, len(s.Nodes))
+		for j, n := range s.Nodes {
+			pts[j] = m.Coords[n]
+		}
+		return pts
+	}
+	shareNode := func(a, b int32) bool {
+		for _, na := range m.Surface[a].Nodes {
+			for _, nb := range m.Surface[b].Nodes {
+				if na == nb {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	var out []contact.Pair
+	for i, ea := range all {
+		fa := facet(ea)
+		bvh.Query(sub, sub[i], func(j int32) {
+			eb := all[j]
+			if eb <= ea || shareNode(ea, eb) {
+				return
+			}
+			// Reporting rule for a duplicate-free union: the rank
+			// owning the smaller element id reports the pair.
+			if int(owners[ea]) != rank {
+				return
+			}
+			da := geom.FacetDist(fa, facet(eb))
+			if da <= tol {
+				out = append(out, contact.Pair{A: ea, B: eb, Dist: da})
+			}
+		})
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/contact"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+func testSetup(t *testing.T, k int, steps int) (*sim.Snapshot, *core.Decomposition) {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Scene.PlateNX, cfg.Scene.PlateNY, cfg.Scene.PlateNZ = 12, 12, 2
+	cfg.Scene.ProjN, cfg.Scene.ProjLen = 2, 6
+	cfg.Scene.ContactRadius = 4
+	cfg.Steps = steps
+	cfg.Snapshots = 2
+	snaps, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn := snaps[len(snaps)-1]
+	d, err := core.Decompose(sn.Mesh, core.Config{K: k, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &sn, d
+}
+
+func TestGhostTrafficEqualsCommVolume(t *testing.T) {
+	sn, d := testSetup(t, 6, 30)
+	st, err := Run(sn.Mesh, d, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := metrics.CommVolume(d.Graph, d.Labels, 6)
+	if st.GhostUnits != want {
+		t.Errorf("ghost units %d != CommVolume %d", st.GhostUnits, want)
+	}
+	// Sent must equal received in aggregate.
+	var recv int64
+	for _, ws := range st.PerWorker {
+		recv += ws.GhostsRecv
+	}
+	if recv != st.GhostUnits {
+		t.Errorf("received %d != sent %d", recv, st.GhostUnits)
+	}
+}
+
+func TestElementTrafficEqualsNRemote(t *testing.T) {
+	sn, d := testSetup(t, 6, 30)
+	const tol = 0.5
+	st, err := Run(sn.Mesh, d, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	searchTol := tol + contact.MaxFacetDiameter(sn.Mesh)
+	owners := contact.SurfaceOwners(sn.Mesh, d.Labels)
+	boxes := contact.SurfaceBoxes(sn.Mesh, searchTol)
+	f := &contact.TreeFilter{
+		Tree:       d.Descriptor,
+		Labels:     d.ContactLabels,
+		TightBoxes: d.Descriptor.PointBoxes(d.ContactPoints),
+	}
+	want := contact.NRemote(boxes, owners, f)
+	if st.ElemsShipped != want {
+		t.Errorf("elements shipped %d != NRemote %d", st.ElemsShipped, want)
+	}
+}
+
+func TestParallelDetectionMatchesSerial(t *testing.T) {
+	for _, k := range []int{2, 6, 13} {
+		sn, d := testSetup(t, k, 30)
+		const tol = 0.5
+		st, err := Run(sn.Mesh, d, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial := contact.DetectContacts(sn.Mesh, tol)
+		if len(st.Pairs) != len(serial) {
+			t.Fatalf("k=%d: parallel found %d pairs, serial %d", k, len(st.Pairs), len(serial))
+		}
+		for i := range serial {
+			if st.Pairs[i].A != serial[i].A || st.Pairs[i].B != serial[i].B {
+				t.Fatalf("k=%d: pair %d differs: (%d,%d) vs (%d,%d)",
+					k, i, st.Pairs[i].A, st.Pairs[i].B, serial[i].A, serial[i].B)
+			}
+		}
+		t.Logf("k=%d: %d pairs, ghosts=%d, shipped=%d, tree=%dB",
+			k, len(st.Pairs), st.GhostUnits, st.ElemsShipped, st.TreeBytes)
+	}
+}
+
+func TestRunK1NoTraffic(t *testing.T) {
+	sn, d := testSetup(t, 1, 30)
+	st, err := Run(sn.Mesh, d, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GhostUnits != 0 || st.ElemsShipped != 0 {
+		t.Errorf("k=1 had traffic: ghosts=%d elems=%d", st.GhostUnits, st.ElemsShipped)
+	}
+	serial := contact.DetectContacts(sn.Mesh, 0.5)
+	if len(st.Pairs) != len(serial) {
+		t.Errorf("k=1 pairs %d != serial %d", len(st.Pairs), len(serial))
+	}
+}
+
+func TestWorkerStatsConsistent(t *testing.T) {
+	sn, d := testSetup(t, 5, 30)
+	st, err := Run(sn.Mesh, d, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes, elems int
+	for _, ws := range st.PerWorker {
+		nodes += ws.OwnedNodes
+		elems += ws.OwnedElems
+	}
+	if nodes != sn.Mesh.NumNodes() {
+		t.Errorf("owned nodes %d != %d", nodes, sn.Mesh.NumNodes())
+	}
+	if elems != len(sn.Mesh.Surface) {
+		t.Errorf("owned elems %d != %d", elems, len(sn.Mesh.Surface))
+	}
+	if st.TreeBytes <= 0 {
+		t.Error("no tree broadcast")
+	}
+}
+
+func TestRunDeterministicPairs(t *testing.T) {
+	sn, d := testSetup(t, 4, 30)
+	a, err := Run(sn.Mesh, d, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sn.Mesh, d, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Pairs) != len(b.Pairs) {
+		t.Fatalf("pair counts differ: %d vs %d", len(a.Pairs), len(b.Pairs))
+	}
+	for i := range a.Pairs {
+		if a.Pairs[i] != b.Pairs[i] {
+			t.Fatal("pairs differ between runs")
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package geom
+
+import "math"
+
+// Distance primitives used by the narrow-phase ("local search") stage
+// of contact detection: exact minimum distances between points,
+// segments, and triangles in 3D (2D inputs work unchanged with z = 0).
+
+// ClosestOnSegment returns the point on segment [a,b] closest to p.
+func ClosestOnSegment(p, a, b Point) Point {
+	ab := b.Sub(a)
+	denom := ab.Dot(ab)
+	if denom == 0 {
+		return a // degenerate segment
+	}
+	t := p.Sub(a).Dot(ab) / denom
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return a.Add(ab.Scale(t))
+}
+
+// PointSegmentDist returns the distance from p to segment [a,b].
+func PointSegmentDist(p, a, b Point) float64 {
+	return p.Dist(ClosestOnSegment(p, a, b))
+}
+
+// SegSegDist returns the minimum distance between segments [p1,q1] and
+// [p2,q2] (Ericson, Real-Time Collision Detection, §5.1.9).
+func SegSegDist(p1, q1, p2, q2 Point) float64 {
+	d1 := q1.Sub(p1)
+	d2 := q2.Sub(p2)
+	r := p1.Sub(p2)
+	a := d1.Dot(d1)
+	e := d2.Dot(d2)
+	f := d2.Dot(r)
+
+	var s, t float64
+	const eps = 1e-15
+	switch {
+	case a <= eps && e <= eps:
+		return p1.Dist(p2)
+	case a <= eps:
+		s = 0
+		t = clamp01(f / e)
+	default:
+		c := d1.Dot(r)
+		if e <= eps {
+			t = 0
+			s = clamp01(-c / a)
+		} else {
+			b := d1.Dot(d2)
+			denom := a*e - b*b
+			if denom != 0 {
+				s = clamp01((b*f - c*e) / denom)
+			}
+			t = (b*s + f) / e
+			if t < 0 {
+				t = 0
+				s = clamp01(-c / a)
+			} else if t > 1 {
+				t = 1
+				s = clamp01((b - c) / a)
+			}
+		}
+	}
+	c1 := p1.Add(d1.Scale(s))
+	c2 := p2.Add(d2.Scale(t))
+	return c1.Dist(c2)
+}
+
+// ClosestOnTriangle returns the point of triangle (a,b,c) closest to p
+// (Ericson §5.1.5).
+func ClosestOnTriangle(p, a, b, c Point) Point {
+	ab := b.Sub(a)
+	ac := c.Sub(a)
+	ap := p.Sub(a)
+	d1 := ab.Dot(ap)
+	d2 := ac.Dot(ap)
+	if d1 <= 0 && d2 <= 0 {
+		return a
+	}
+	bp := p.Sub(b)
+	d3 := ab.Dot(bp)
+	d4 := ac.Dot(bp)
+	if d3 >= 0 && d4 <= d3 {
+		return b
+	}
+	vc := d1*d4 - d3*d2
+	if vc <= 0 && d1 >= 0 && d3 <= 0 {
+		v := d1 / (d1 - d3)
+		return a.Add(ab.Scale(v))
+	}
+	cp := p.Sub(c)
+	d5 := ab.Dot(cp)
+	d6 := ac.Dot(cp)
+	if d6 >= 0 && d5 <= d6 {
+		return c
+	}
+	vb := d5*d2 - d1*d6
+	if vb <= 0 && d2 >= 0 && d6 <= 0 {
+		w := d2 / (d2 - d6)
+		return a.Add(ac.Scale(w))
+	}
+	va := d3*d6 - d5*d4
+	if va <= 0 && (d4-d3) >= 0 && (d5-d6) >= 0 {
+		w := (d4 - d3) / ((d4 - d3) + (d5 - d6))
+		return b.Add(c.Sub(b).Scale(w))
+	}
+	denom := va + vb + vc
+	if denom == 0 {
+		// Degenerate (collinear) triangle: fall back to edges.
+		best := ClosestOnSegment(p, a, b)
+		if q := ClosestOnSegment(p, b, c); p.Dist(q) < p.Dist(best) {
+			best = q
+		}
+		if q := ClosestOnSegment(p, c, a); p.Dist(q) < p.Dist(best) {
+			best = q
+		}
+		return best
+	}
+	v := vb / denom
+	w := vc / denom
+	return a.Add(ab.Scale(v)).Add(ac.Scale(w))
+}
+
+// PointTriangleDist returns the distance from p to triangle (a,b,c).
+func PointTriangleDist(p, a, b, c Point) float64 {
+	return p.Dist(ClosestOnTriangle(p, a, b, c))
+}
+
+// TriTriDist returns the minimum distance between triangles t1 and t2.
+// For disjoint triangles this is exact (the minimum is attained at a
+// vertex-face or edge-edge pair); intersecting triangles return 0 up
+// to the resolution of the edge-edge tests.
+func TriTriDist(t1, t2 [3]Point) float64 {
+	best := math.Inf(1)
+	for _, p := range t1 {
+		if d := PointTriangleDist(p, t2[0], t2[1], t2[2]); d < best {
+			best = d
+		}
+	}
+	for _, p := range t2 {
+		if d := PointTriangleDist(p, t1[0], t1[1], t1[2]); d < best {
+			best = d
+		}
+	}
+	edges := [3][2]int{{0, 1}, {1, 2}, {2, 0}}
+	for _, e1 := range edges {
+		for _, e2 := range edges {
+			if d := SegSegDist(t1[e1[0]], t1[e1[1]], t2[e2[0]], t2[e2[1]]); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// FacetDist returns the minimum distance between two facets given as
+// vertex lists: segments (2 nodes), triangles (3), or quads (4, split
+// into two triangles). This is the narrow-phase kernel of local
+// contact search.
+func FacetDist(a, b []Point) float64 {
+	ta := facetTris(a)
+	tb := facetTris(b)
+	best := math.Inf(1)
+	for _, x := range ta {
+		for _, y := range tb {
+			var d float64
+			switch {
+			case x[2] == x[1] && y[2] == y[1]: // segment vs segment
+				d = SegSegDist(x[0], x[1], y[0], y[1])
+			case x[2] == x[1]: // segment vs triangle
+				d = segTriDist(x[0], x[1], y)
+			case y[2] == y[1]:
+				d = segTriDist(y[0], y[1], x)
+			default:
+				d = TriTriDist(x, y)
+			}
+			if d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// facetTris normalizes a facet into triangles; segments are encoded as
+// a degenerate triangle with the last vertex repeated.
+func facetTris(f []Point) [][3]Point {
+	switch len(f) {
+	case 2:
+		return [][3]Point{{f[0], f[1], f[1]}}
+	case 3:
+		return [][3]Point{{f[0], f[1], f[2]}}
+	case 4:
+		return [][3]Point{{f[0], f[1], f[2]}, {f[0], f[2], f[3]}}
+	default:
+		// Fan triangulation for anything larger.
+		var out [][3]Point
+		for i := 2; i < len(f); i++ {
+			out = append(out, [3]Point{f[0], f[i-1], f[i]})
+		}
+		return out
+	}
+}
+
+// segTriDist returns the distance between segment [a,b] and a triangle.
+func segTriDist(a, b Point, t [3]Point) float64 {
+	best := PointTriangleDist(a, t[0], t[1], t[2])
+	if d := PointTriangleDist(b, t[0], t[1], t[2]); d < best {
+		best = d
+	}
+	edges := [3][2]int{{0, 1}, {1, 2}, {2, 0}}
+	for _, e := range edges {
+		if d := SegSegDist(a, b, t[e[0]], t[e[1]]); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,192 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPointSegmentDist(t *testing.T) {
+	a, b := P3(0, 0, 0), P3(2, 0, 0)
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{P3(1, 1, 0), 1},    // above middle
+		{P3(-1, 0, 0), 1},   // beyond a
+		{P3(3, 0, 0), 1},    // beyond b
+		{P3(1, 0, 0), 0},    // on segment
+		{P3(0, 3, 4), 5},    // off endpoint a
+		{P3(1, -2, 0), 2},   // below middle
+		{P3(2, 0, 0.5), .5}, // above endpoint b
+	}
+	for i, c := range cases {
+		if got := PointSegmentDist(c.p, a, b); !almostEq(got, c.want) {
+			t.Errorf("case %d: dist = %v, want %v", i, got, c.want)
+		}
+	}
+	// Degenerate zero-length segment.
+	if got := PointSegmentDist(P3(1, 0, 0), a, a); !almostEq(got, 1) {
+		t.Errorf("degenerate segment dist = %v", got)
+	}
+}
+
+func TestSegSegDist(t *testing.T) {
+	cases := []struct {
+		p1, q1, p2, q2 Point
+		want           float64
+	}{
+		// Parallel horizontal segments one apart.
+		{P3(0, 0, 0), P3(2, 0, 0), P3(0, 1, 0), P3(2, 1, 0), 1},
+		// Crossing segments (in projection) separated in z.
+		{P3(-1, 0, 1), P3(1, 0, 1), P3(0, -1, 0), P3(0, 1, 0), 1},
+		// Actually intersecting.
+		{P3(-1, 0, 0), P3(1, 0, 0), P3(0, -1, 0), P3(0, 1, 0), 0},
+		// Collinear, disjoint.
+		{P3(0, 0, 0), P3(1, 0, 0), P3(3, 0, 0), P3(4, 0, 0), 2},
+		// Degenerate: two points.
+		{P3(0, 0, 0), P3(0, 0, 0), P3(0, 3, 4), P3(0, 3, 4), 5},
+	}
+	for i, c := range cases {
+		if got := SegSegDist(c.p1, c.q1, c.p2, c.q2); !almostEq(got, c.want) {
+			t.Errorf("case %d: dist = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+// Property: SegSegDist is symmetric and matches dense sampling.
+func TestQuickSegSegAgainstSampling(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p1, q1, p2, q2 := randPoint(r), randPoint(r), randPoint(r), randPoint(r)
+		got := SegSegDist(p1, q1, p2, q2)
+		if sym := SegSegDist(p2, q2, p1, q1); !almostEq(got, sym) {
+			return false
+		}
+		// Dense sampling can only be >= the true minimum.
+		const n = 60
+		sample := math.Inf(1)
+		for i := 0; i <= n; i++ {
+			a := p1.Add(q1.Sub(p1).Scale(float64(i) / n))
+			for j := 0; j <= n; j++ {
+				b := p2.Add(q2.Sub(p2).Scale(float64(j) / n))
+				if d := a.Dist(b); d < sample {
+					sample = d
+				}
+			}
+		}
+		// got <= sample (+slack), and sample converges to got.
+		return got <= sample+1e-9 && sample-got < 0.6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointTriangleDist(t *testing.T) {
+	a, b, c := P3(0, 0, 0), P3(2, 0, 0), P3(0, 2, 0)
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{P3(0.5, 0.5, 1), 1},        // above interior
+		{P3(0.5, 0.5, 0), 0},        // in plane, inside
+		{P3(-1, -1, 0), math.Sqrt2}, // nearest vertex a
+		{P3(3, 0, 0), 1},            // beyond vertex b along x
+		{P3(1, -1, 0), 1},           // below edge ab
+		{P3(2, 2, 0), math.Sqrt2},   // outside hypotenuse
+	}
+	for i, q := range cases {
+		if got := PointTriangleDist(q.p, a, b, c); !almostEq(got, q.want) {
+			t.Errorf("case %d: dist = %v, want %v", i, got, q.want)
+		}
+	}
+}
+
+// Property: ClosestOnTriangle returns a point whose distance matches
+// and that lies in the triangle's plane bounding box (loose sanity),
+// and dense barycentric sampling never beats it.
+func TestQuickPointTriangleAgainstSampling(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c, p := randPoint(r), randPoint(r), randPoint(r), randPoint(r)
+		got := PointTriangleDist(p, a, b, c)
+		const n = 50
+		sample := math.Inf(1)
+		for i := 0; i <= n; i++ {
+			for j := 0; j <= n-i; j++ {
+				u := float64(i) / n
+				v := float64(j) / n
+				q := a.Scale(1 - u - v).Add(b.Scale(u)).Add(c.Scale(v))
+				if d := p.Dist(q); d < sample {
+					sample = d
+				}
+			}
+		}
+		return got <= sample+1e-9 && sample-got < 0.6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriTriDist(t *testing.T) {
+	t1 := [3]Point{P3(0, 0, 0), P3(1, 0, 0), P3(0, 1, 0)}
+	t2 := [3]Point{P3(0, 0, 2), P3(1, 0, 2), P3(0, 1, 2)}
+	if got := TriTriDist(t1, t2); !almostEq(got, 2) {
+		t.Errorf("parallel triangles dist = %v, want 2", got)
+	}
+	// Shared vertex.
+	t3 := [3]Point{P3(0, 0, 0), P3(-1, 0, 0), P3(0, -1, 0)}
+	if got := TriTriDist(t1, t3); !almostEq(got, 0) {
+		t.Errorf("touching triangles dist = %v, want 0", got)
+	}
+	// Edge-edge closest feature (crossing slabs separated in z).
+	t4 := [3]Point{P3(-5, 0.2, 1), P3(5, 0.2, 1), P3(0, 10, 1)}
+	if got := TriTriDist(t1, t4); !almostEq(got, 1) {
+		t.Errorf("edge-edge dist = %v, want 1", got)
+	}
+}
+
+func TestFacetDist(t *testing.T) {
+	// Two parallel quads distance 3 apart.
+	qa := []Point{P3(0, 0, 0), P3(1, 0, 0), P3(1, 1, 0), P3(0, 1, 0)}
+	qb := []Point{P3(0, 0, 3), P3(1, 0, 3), P3(1, 1, 3), P3(0, 1, 3)}
+	if got := FacetDist(qa, qb); !almostEq(got, 3) {
+		t.Errorf("quad-quad dist = %v, want 3", got)
+	}
+	// Segment vs segment (2D contact facets).
+	sa := []Point{P2(0, 0), P2(1, 0)}
+	sb := []Point{P2(0, 2), P2(1, 2)}
+	if got := FacetDist(sa, sb); !almostEq(got, 2) {
+		t.Errorf("seg-seg dist = %v, want 2", got)
+	}
+	// Segment vs triangle.
+	tri := []Point{P3(0, 0, 1), P3(1, 0, 1), P3(0, 1, 1)}
+	sc := []Point{P3(0.2, 0.2, 0), P3(0.3, 0.3, 0)}
+	if got := FacetDist(sc, tri); !almostEq(got, 1) {
+		t.Errorf("seg-tri dist = %v, want 1", got)
+	}
+}
+
+func TestFacetDistSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func(n int) []Point {
+			pts := make([]Point, n)
+			for i := range pts {
+				pts[i] = randPoint(r)
+			}
+			return pts
+		}
+		a := mk(2 + r.Intn(3))
+		b := mk(2 + r.Intn(3))
+		return almostEq(FacetDist(a, b), FacetDist(b, a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

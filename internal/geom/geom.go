@@ -1,0 +1,201 @@
+// Package geom provides the small geometric vocabulary shared by the
+// mesh, RCB, decision-tree, and contact-search packages: points in 2 or
+// 3 dimensions and axis-aligned bounding boxes.
+//
+// Both 2D and 3D data are stored in fixed [3]float64 arrays; the number
+// of meaningful coordinates is carried separately (by the structures
+// that own collections of points) so that the hot loops over
+// coordinates never allocate.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a position in 2D or 3D space. For 2D data the Z component is
+// zero and ignored.
+type Point [3]float64
+
+// P2 returns a 2D point.
+func P2(x, y float64) Point { return Point{x, y, 0} }
+
+// P3 returns a 3D point.
+func P3(x, y, z float64) Point { return Point{x, y, z} }
+
+// Add returns p + q componentwise.
+func (p Point) Add(q Point) Point { return Point{p[0] + q[0], p[1] + q[1], p[2] + q[2]} }
+
+// Sub returns p - q componentwise.
+func (p Point) Sub(q Point) Point { return Point{p[0] - q[0], p[1] - q[1], p[2] - q[2]} }
+
+// Scale returns s*p.
+func (p Point) Scale(s float64) Point { return Point{s * p[0], s * p[1], s * p[2]} }
+
+// Dot returns the dot product of p and q.
+func (p Point) Dot(q Point) float64 { return p[0]*q[0] + p[1]*q[1] + p[2]*q[2] }
+
+// Norm returns the Euclidean length of p.
+func (p Point) Norm() float64 { return math.Sqrt(p.Dot(p)) }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return p.Sub(q).Norm() }
+
+// AABB is an axis-aligned bounding box. An AABB with Min[d] > Max[d] in
+// any dimension is empty; Empty() constructs the canonical empty box.
+type AABB struct {
+	Min, Max Point
+}
+
+// Empty returns the canonical empty box, suitable as the identity for
+// Extend/Union folds.
+func Empty() AABB {
+	inf := math.Inf(1)
+	return AABB{
+		Min: Point{inf, inf, inf},
+		Max: Point{-inf, -inf, -inf},
+	}
+}
+
+// BoxOf returns the tightest box containing pts (Empty() if pts is empty).
+func BoxOf(pts []Point) AABB {
+	b := Empty()
+	for _, p := range pts {
+		b = b.Extend(p)
+	}
+	return b
+}
+
+// IsEmpty reports whether b contains no points in the first dim dimensions.
+func (b AABB) IsEmpty(dim int) bool {
+	for d := 0; d < dim; d++ {
+		if b.Min[d] > b.Max[d] {
+			return true
+		}
+	}
+	return false
+}
+
+// Extend returns the smallest box containing both b and p.
+func (b AABB) Extend(p Point) AABB {
+	for d := 0; d < 3; d++ {
+		if p[d] < b.Min[d] {
+			b.Min[d] = p[d]
+		}
+		if p[d] > b.Max[d] {
+			b.Max[d] = p[d]
+		}
+	}
+	return b
+}
+
+// Union returns the smallest box containing both b and c.
+func (b AABB) Union(c AABB) AABB {
+	for d := 0; d < 3; d++ {
+		if c.Min[d] < b.Min[d] {
+			b.Min[d] = c.Min[d]
+		}
+		if c.Max[d] > b.Max[d] {
+			b.Max[d] = c.Max[d]
+		}
+	}
+	return b
+}
+
+// Inflate returns b grown by eps on every side in the first dim dimensions.
+func (b AABB) Inflate(eps float64, dim int) AABB {
+	for d := 0; d < dim; d++ {
+		b.Min[d] -= eps
+		b.Max[d] += eps
+	}
+	return b
+}
+
+// Intersects reports whether b and c overlap (closed boxes: touching
+// faces count as intersecting) in the first dim dimensions.
+func (b AABB) Intersects(c AABB, dim int) bool {
+	for d := 0; d < dim; d++ {
+		if b.Max[d] < c.Min[d] || c.Max[d] < b.Min[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether p lies inside b (closed) in the first dim
+// dimensions.
+func (b AABB) Contains(p Point, dim int) bool {
+	for d := 0; d < dim; d++ {
+		if p[d] < b.Min[d] || p[d] > b.Max[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsBox reports whether c lies entirely inside b in the first dim
+// dimensions.
+func (b AABB) ContainsBox(c AABB, dim int) bool {
+	for d := 0; d < dim; d++ {
+		if c.Min[d] < b.Min[d] || c.Max[d] > b.Max[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Center returns the midpoint of b.
+func (b AABB) Center() Point {
+	return Point{
+		(b.Min[0] + b.Max[0]) / 2,
+		(b.Min[1] + b.Max[1]) / 2,
+		(b.Min[2] + b.Max[2]) / 2,
+	}
+}
+
+// Extent returns Max[d]-Min[d] per dimension as a Point.
+func (b AABB) Extent() Point {
+	return b.Max.Sub(b.Min)
+}
+
+// LongestDim returns the dimension (0..dim-1) with the largest extent.
+func (b AABB) LongestDim(dim int) int {
+	best, bestLen := 0, math.Inf(-1)
+	for d := 0; d < dim; d++ {
+		if l := b.Max[d] - b.Min[d]; l > bestLen {
+			best, bestLen = d, l
+		}
+	}
+	return best
+}
+
+// Volume returns the dim-dimensional volume of b (0 for empty boxes).
+func (b AABB) Volume(dim int) float64 {
+	v := 1.0
+	for d := 0; d < dim; d++ {
+		l := b.Max[d] - b.Min[d]
+		if l < 0 {
+			return 0
+		}
+		v *= l
+	}
+	return v
+}
+
+// Intersection returns the overlap of b and c; the result may be empty.
+func (b AABB) Intersection(c AABB) AABB {
+	for d := 0; d < 3; d++ {
+		if c.Min[d] > b.Min[d] {
+			b.Min[d] = c.Min[d]
+		}
+		if c.Max[d] < b.Max[d] {
+			b.Max[d] = c.Max[d]
+		}
+	}
+	return b
+}
+
+func (b AABB) String() string {
+	return fmt.Sprintf("[%g,%g]x[%g,%g]x[%g,%g]",
+		b.Min[0], b.Max[0], b.Min[1], b.Max[1], b.Min[2], b.Max[2])
+}

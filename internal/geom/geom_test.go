@@ -1,0 +1,266 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArith(t *testing.T) {
+	p := P3(1, 2, 3)
+	q := P3(4, 5, 6)
+	if got := p.Add(q); got != (Point{5, 7, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := q.Sub(p); got != (Point{3, 3, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 32 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := P3(3, 4, 0).Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := P2(0, 0).Dist(P2(3, 4)); got != 5 {
+		t.Errorf("Dist = %v", got)
+	}
+}
+
+func TestEmptyBox(t *testing.T) {
+	e := Empty()
+	if !e.IsEmpty(2) || !e.IsEmpty(3) {
+		t.Fatal("Empty() not empty")
+	}
+	if e.Volume(3) != 0 {
+		t.Errorf("empty volume = %v", e.Volume(3))
+	}
+	// Extending the empty box with one point gives a degenerate box
+	// containing exactly that point.
+	p := P3(1, 2, 3)
+	b := e.Extend(p)
+	if b.IsEmpty(3) {
+		t.Fatal("extended box still empty")
+	}
+	if !b.Contains(p, 3) {
+		t.Fatal("extended box does not contain its point")
+	}
+	if b.Min != p || b.Max != p {
+		t.Errorf("degenerate box = %v", b)
+	}
+}
+
+func TestBoxOf(t *testing.T) {
+	pts := []Point{P2(1, 5), P2(-2, 3), P2(4, -1)}
+	b := BoxOf(pts)
+	want := AABB{Min: Point{-2, -1, 0}, Max: Point{4, 5, 0}}
+	if b != want {
+		t.Errorf("BoxOf = %v, want %v", b, want)
+	}
+	if got := BoxOf(nil); !got.IsEmpty(2) {
+		t.Error("BoxOf(nil) not empty")
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := AABB{Min: P2(0, 0), Max: P2(2, 2)}
+	cases := []struct {
+		b    AABB
+		dim  int
+		want bool
+	}{
+		{AABB{Min: P2(1, 1), Max: P2(3, 3)}, 2, true},
+		{AABB{Min: P2(2, 0), Max: P2(4, 2)}, 2, true}, // touching faces count
+		{AABB{Min: P2(2.01, 0), Max: P2(4, 2)}, 2, false},
+		{AABB{Min: P2(0, 3), Max: P2(2, 4)}, 2, false},
+		{AABB{Min: Point{1, 1, 10}, Max: Point{3, 3, 11}}, 2, true}, // z ignored in 2D
+		{AABB{Min: Point{1, 1, 10}, Max: Point{3, 3, 11}}, 3, false},
+	}
+	for i, c := range cases {
+		if got := a.Intersects(c.b, c.dim); got != c.want {
+			t.Errorf("case %d: Intersects = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	b := AABB{Min: P3(0, 0, 0), Max: P3(1, 1, 1)}
+	if !b.Contains(P3(0.5, 0.5, 0.5), 3) {
+		t.Error("interior point not contained")
+	}
+	if !b.Contains(P3(1, 1, 1), 3) {
+		t.Error("boundary point not contained (closed box)")
+	}
+	if b.Contains(P3(1.1, 0.5, 0.5), 3) {
+		t.Error("exterior point contained")
+	}
+	if !b.ContainsBox(AABB{Min: P3(0.2, 0.2, 0.2), Max: P3(0.8, 0.8, 0.8)}, 3) {
+		t.Error("inner box not contained")
+	}
+	if b.ContainsBox(AABB{Min: P3(0.2, 0.2, 0.2), Max: P3(1.8, 0.8, 0.8)}, 3) {
+		t.Error("overflowing box contained")
+	}
+}
+
+func TestLongestDim(t *testing.T) {
+	b := AABB{Min: P3(0, 0, 0), Max: P3(1, 5, 3)}
+	if got := b.LongestDim(3); got != 1 {
+		t.Errorf("LongestDim(3) = %d, want 1", got)
+	}
+	if got := b.LongestDim(2); got != 1 {
+		t.Errorf("LongestDim(2) = %d, want 1", got)
+	}
+	b2 := AABB{Min: P3(0, 0, 0), Max: P3(1, 0.5, 9)}
+	if got := b2.LongestDim(2); got != 0 {
+		t.Errorf("LongestDim(2) = %d, want 0 (z must be ignored)", got)
+	}
+}
+
+func TestVolumeAndCenter(t *testing.T) {
+	b := AABB{Min: P3(0, 0, 0), Max: P3(2, 3, 4)}
+	if got := b.Volume(3); got != 24 {
+		t.Errorf("Volume(3) = %v", got)
+	}
+	if got := b.Volume(2); got != 6 {
+		t.Errorf("Volume(2) = %v", got)
+	}
+	if got := b.Center(); got != (Point{1, 1.5, 2}) {
+		t.Errorf("Center = %v", got)
+	}
+}
+
+func TestInflate(t *testing.T) {
+	b := AABB{Min: P2(0, 0), Max: P2(1, 1)}
+	g := b.Inflate(0.5, 2)
+	want := AABB{Min: P2(-0.5, -0.5), Max: P2(1.5, 1.5)}
+	if g != want {
+		t.Errorf("Inflate = %v, want %v", g, want)
+	}
+	if g.Min[2] != 0 || g.Max[2] != 0 {
+		t.Error("Inflate touched the z dimension in 2D mode")
+	}
+}
+
+func TestIntersection(t *testing.T) {
+	a := AABB{Min: P2(0, 0), Max: P2(2, 2)}
+	b := AABB{Min: P2(1, 1), Max: P2(3, 3)}
+	got := a.Intersection(b)
+	want := AABB{Min: P2(1, 1), Max: P2(2, 2)}
+	if got != want {
+		t.Errorf("Intersection = %v, want %v", got, want)
+	}
+	c := AABB{Min: P2(5, 5), Max: P2(6, 6)}
+	if !a.Intersection(c).IsEmpty(2) {
+		t.Error("disjoint intersection not empty")
+	}
+}
+
+func randPoint(r *rand.Rand) Point {
+	return Point{r.Float64()*20 - 10, r.Float64()*20 - 10, r.Float64()*20 - 10}
+}
+
+func randBox(r *rand.Rand) AABB {
+	p, q := randPoint(r), randPoint(r)
+	b := Empty()
+	return b.Extend(p).Extend(q)
+}
+
+// Property: Union contains both operands.
+func TestQuickUnionContains(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randBox(r), randBox(r)
+		u := a.Union(b)
+		return u.ContainsBox(a, 3) && u.ContainsBox(b, 3)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Intersects is symmetric and agrees with a non-empty Intersection.
+func TestQuickIntersectSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randBox(r), randBox(r)
+		s1 := a.Intersects(b, 3)
+		s2 := b.Intersects(a, 3)
+		s3 := !a.Intersection(b).IsEmpty(3)
+		return s1 == s2 && s1 == s3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a box contains every point it was built from, and BoxOf is
+// invariant under permutation-ish reorderings (reverse).
+func TestQuickBoxOfContainsAll(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = randPoint(r)
+		}
+		b := BoxOf(pts)
+		for _, p := range pts {
+			if !b.Contains(p, 3) {
+				return false
+			}
+		}
+		rev := make([]Point, n)
+		for i, p := range pts {
+			rev[n-1-i] = p
+		}
+		return BoxOf(rev) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Inflate by eps then checking containment of points within
+// eps of the box boundary succeeds.
+func TestQuickInflateContains(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := randBox(r)
+		eps := r.Float64()
+		g := b.Inflate(eps, 3)
+		// Corner pushed outward by slightly less than eps stays inside.
+		d := eps * 0.99
+		p := Point{b.Max[0] + d, b.Max[1] + d, b.Max[2] + d}
+		return g.Contains(p, 3)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtentString(t *testing.T) {
+	b := AABB{Min: P3(0, 1, 2), Max: P3(3, 5, 9)}
+	if got := b.Extent(); got != (Point{3, 4, 7}) {
+		t.Errorf("Extent = %v", got)
+	}
+	if b.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestDegenerateVolume(t *testing.T) {
+	// Flat box: zero volume in 3D, positive area in 2D.
+	b := AABB{Min: P3(0, 0, 1), Max: P3(2, 2, 1)}
+	if got := b.Volume(3); got != 0 {
+		t.Errorf("flat Volume(3) = %v", got)
+	}
+	if got := b.Volume(2); got != 4 {
+		t.Errorf("flat Volume(2) = %v", got)
+	}
+	if math.IsNaN(Empty().Volume(2)) {
+		t.Error("empty volume NaN")
+	}
+}

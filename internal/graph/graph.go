@@ -1,0 +1,325 @@
+// Package graph implements the weighted undirected graph substrate used
+// by the partitioner: a compressed-sparse-row (CSR) adjacency structure
+// with a vector of integer weights per vertex (the multi-constraint
+// formulation of Karypis & Kumar) and an integer weight per edge.
+//
+// Graphs are immutable once built; construction goes through Builder,
+// which deduplicates parallel edges (summing their weights) and drops
+// self-loops. The package also provides the quotient ("collapse")
+// operation used to build the coarse region graph G' of the paper, and
+// the coarsening contraction used by the multilevel partitioner.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable undirected graph in CSR form.
+//
+// The adjacency of vertex v is Adj[Xadj[v]:Xadj[v+1]] with parallel edge
+// weights in AdjWgt. Every undirected edge {u,v} is stored twice, once
+// in each endpoint's list, with equal weights.
+//
+// VWgt holds NCon weights per vertex, laid out contiguously:
+// VWgt[v*NCon : (v+1)*NCon].
+type Graph struct {
+	NCon   int     // number of vertex weight components (constraints)
+	Xadj   []int32 // length NV()+1
+	Adj    []int32 // concatenated adjacency lists
+	AdjWgt []int32 // parallel to Adj
+	VWgt   []int32 // NV()*NCon vertex weights
+}
+
+// NV returns the number of vertices.
+func (g *Graph) NV() int { return len(g.Xadj) - 1 }
+
+// NE returns the number of undirected edges.
+func (g *Graph) NE() int { return len(g.Adj) / 2 }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int) int { return int(g.Xadj[v+1] - g.Xadj[v]) }
+
+// Neighbors returns the adjacency list of v (do not modify).
+func (g *Graph) Neighbors(v int) []int32 {
+	return g.Adj[g.Xadj[v]:g.Xadj[v+1]]
+}
+
+// EdgeWeights returns the edge weights parallel to Neighbors(v)
+// (do not modify).
+func (g *Graph) EdgeWeights(v int) []int32 {
+	return g.AdjWgt[g.Xadj[v]:g.Xadj[v+1]]
+}
+
+// Weight returns the j-th weight component of vertex v.
+func (g *Graph) Weight(v, j int) int32 { return g.VWgt[v*g.NCon+j] }
+
+// Weights returns the weight vector of v (do not modify).
+func (g *Graph) Weights(v int) []int32 {
+	return g.VWgt[v*g.NCon : (v+1)*g.NCon]
+}
+
+// TotalWeights returns the sum of all vertex weight vectors.
+func (g *Graph) TotalWeights() []int64 {
+	tot := make([]int64, g.NCon)
+	for v := 0; v < g.NV(); v++ {
+		for j := 0; j < g.NCon; j++ {
+			tot[j] += int64(g.Weight(v, j))
+		}
+	}
+	return tot
+}
+
+// TotalEdgeWeight returns the sum of undirected edge weights.
+func (g *Graph) TotalEdgeWeight() int64 {
+	var s int64
+	for _, w := range g.AdjWgt {
+		s += int64(w)
+	}
+	return s / 2
+}
+
+// Validate checks the CSR invariants: monotone Xadj, in-range adjacency,
+// no self loops, and symmetric adjacency with matching weights. It is
+// intended for tests and for validating externally constructed graphs.
+func (g *Graph) Validate() error {
+	n := g.NV()
+	if g.NCon < 1 {
+		return fmt.Errorf("graph: NCon = %d, want >= 1", g.NCon)
+	}
+	if len(g.VWgt) != n*g.NCon {
+		return fmt.Errorf("graph: len(VWgt) = %d, want %d", len(g.VWgt), n*g.NCon)
+	}
+	if len(g.Adj) != len(g.AdjWgt) {
+		return fmt.Errorf("graph: len(Adj) = %d != len(AdjWgt) = %d", len(g.Adj), len(g.AdjWgt))
+	}
+	if g.Xadj[0] != 0 || int(g.Xadj[n]) != len(g.Adj) {
+		return fmt.Errorf("graph: Xadj bounds [%d,%d], want [0,%d]", g.Xadj[0], g.Xadj[n], len(g.Adj))
+	}
+	type key struct{ u, v int32 }
+	seen := make(map[key]int32, len(g.Adj))
+	for v := 0; v < n; v++ {
+		if g.Xadj[v] > g.Xadj[v+1] {
+			return fmt.Errorf("graph: Xadj not monotone at %d", v)
+		}
+		for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
+			u := g.Adj[i]
+			if u < 0 || int(u) >= n {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", v, u)
+			}
+			if int(u) == v {
+				return fmt.Errorf("graph: self loop at %d", v)
+			}
+			if w := g.AdjWgt[i]; w <= 0 {
+				return fmt.Errorf("graph: edge {%d,%d} has non-positive weight %d", v, u, w)
+			}
+			k := key{int32(v), u}
+			if _, dup := seen[k]; dup {
+				return fmt.Errorf("graph: duplicate edge {%d,%d}", v, u)
+			}
+			seen[k] = g.AdjWgt[i]
+		}
+	}
+	for k, w := range seen {
+		if w2, ok := seen[key{k.v, k.u}]; !ok {
+			return fmt.Errorf("graph: edge {%d,%d} missing reverse", k.u, k.v)
+		} else if w2 != w {
+			return fmt.Errorf("graph: edge {%d,%d} weight %d != reverse %d", k.u, k.v, w, w2)
+		}
+	}
+	return nil
+}
+
+// Builder accumulates edges and produces a Graph. Edges may be added in
+// any order and in either direction; parallel edges have their weights
+// summed; self-loops are dropped.
+type Builder struct {
+	nv   int
+	ncon int
+	vwgt []int32
+	us   []int32
+	vs   []int32
+	ws   []int32
+}
+
+// NewBuilder creates a builder for a graph with nv vertices and ncon
+// weight components per vertex. All vertex weights start at zero.
+func NewBuilder(nv, ncon int) *Builder {
+	if nv < 0 || ncon < 1 {
+		panic(fmt.Sprintf("graph: NewBuilder(%d, %d)", nv, ncon))
+	}
+	return &Builder{nv: nv, ncon: ncon, vwgt: make([]int32, nv*ncon)}
+}
+
+// SetWeight sets the j-th weight component of vertex v.
+func (b *Builder) SetWeight(v, j int, w int32) { b.vwgt[v*b.ncon+j] = w }
+
+// SetWeights sets the whole weight vector of vertex v.
+func (b *Builder) SetWeights(v int, w []int32) {
+	copy(b.vwgt[v*b.ncon:(v+1)*b.ncon], w)
+}
+
+// AddEdge records an undirected edge {u,v} with weight w. Edges with
+// u == v are ignored; calling AddEdge(u, v, a) and AddEdge(v, u, b)
+// yields a single edge of weight a+b.
+func (b *Builder) AddEdge(u, v int, w int32) {
+	if u == v {
+		return
+	}
+	if u < 0 || u >= b.nv || v < 0 || v >= b.nv {
+		panic(fmt.Sprintf("graph: AddEdge(%d, %d) out of range [0,%d)", u, v, b.nv))
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.us = append(b.us, int32(u))
+	b.vs = append(b.vs, int32(v))
+	b.ws = append(b.ws, w)
+}
+
+// Build produces the immutable Graph. The builder can be reused only by
+// discarding it; Build is not idempotent with further AddEdge calls.
+func (b *Builder) Build() *Graph {
+	// Sort the (u,v) pairs (packed into one key per edge) to
+	// deduplicate parallel edges, summing their weights.
+	m := len(b.us)
+	type packed struct {
+		key uint64
+		w   int32
+	}
+	recs := make([]packed, m)
+	for i := range recs {
+		recs[i] = packed{key: uint64(b.us[i])<<32 | uint64(uint32(b.vs[i])), w: b.ws[i]}
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].key < recs[j].key })
+
+	type edge struct {
+		u, v, w int32
+	}
+	uniq := make([]edge, 0, m)
+	for _, r := range recs {
+		u, v := int32(r.key>>32), int32(uint32(r.key))
+		if n := len(uniq); n > 0 && uniq[n-1].u == u && uniq[n-1].v == v {
+			uniq[n-1].w += r.w
+			continue
+		}
+		uniq = append(uniq, edge{u, v, r.w})
+	}
+
+	g := &Graph{
+		NCon: b.ncon,
+		Xadj: make([]int32, b.nv+1),
+		VWgt: append([]int32(nil), b.vwgt...),
+	}
+	deg := make([]int32, b.nv)
+	for _, e := range uniq {
+		deg[e.u]++
+		deg[e.v]++
+	}
+	for v := 0; v < b.nv; v++ {
+		g.Xadj[v+1] = g.Xadj[v] + deg[v]
+	}
+	g.Adj = make([]int32, 2*len(uniq))
+	g.AdjWgt = make([]int32, 2*len(uniq))
+	pos := make([]int32, b.nv)
+	copy(pos, g.Xadj[:b.nv])
+	for _, e := range uniq {
+		g.Adj[pos[e.u]], g.AdjWgt[pos[e.u]] = e.v, e.w
+		pos[e.u]++
+		g.Adj[pos[e.v]], g.AdjWgt[pos[e.v]] = e.u, e.w
+		pos[e.v]++
+	}
+	return g
+}
+
+// Induce returns the subgraph induced by the vertex set vs (which must
+// contain no duplicates): vertex i of the subgraph corresponds to
+// vs[i], keeping its weight vector, with edges retained only when both
+// endpoints lie in vs.
+func (g *Graph) Induce(vs []int32) *Graph {
+	newIdx := make(map[int32]int32, len(vs))
+	for i, v := range vs {
+		if _, dup := newIdx[v]; dup {
+			panic(fmt.Sprintf("graph: Induce: duplicate vertex %d", v))
+		}
+		newIdx[v] = int32(i)
+	}
+	b := NewBuilder(len(vs), g.NCon)
+	for i, v := range vs {
+		b.SetWeights(i, g.Weights(int(v)))
+		adj := g.Neighbors(int(v))
+		wgt := g.EdgeWeights(int(v))
+		for j, u := range adj {
+			if u > v { // each undirected edge once
+				if ui, ok := newIdx[u]; ok {
+					b.AddEdge(i, int(ui), wgt[j])
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Components returns the connected component id of every vertex and the
+// number of components. Ids are assigned in order of first discovery.
+func (g *Graph) Components() (comp []int32, n int) {
+	comp = make([]int32, g.NV())
+	for i := range comp {
+		comp[i] = -1
+	}
+	var stack []int32
+	for v := 0; v < g.NV(); v++ {
+		if comp[v] >= 0 {
+			continue
+		}
+		comp[v] = int32(n)
+		stack = append(stack[:0], int32(v))
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range g.Neighbors(int(u)) {
+				if comp[w] < 0 {
+					comp[w] = int32(n)
+					stack = append(stack, w)
+				}
+			}
+		}
+		n++
+	}
+	return comp, n
+}
+
+// Collapse builds the quotient graph of g under the vertex labeling
+// label (values in [0, ngroups)): one coarse vertex per group, weight
+// vectors summed componentwise, and an edge between two groups with
+// weight equal to the total weight of original edges between them.
+// Groups with no vertices become isolated zero-weight vertices.
+//
+// It returns the quotient graph. This is both the multilevel
+// contraction step (label = matching map) and the G' construction of
+// Section 4.2 (label = decision-tree leaf ids).
+func (g *Graph) Collapse(label []int32, ngroups int) *Graph {
+	if len(label) != g.NV() {
+		panic(fmt.Sprintf("graph: Collapse label length %d != NV %d", len(label), g.NV()))
+	}
+	b := NewBuilder(ngroups, g.NCon)
+	for v := 0; v < g.NV(); v++ {
+		lv := label[v]
+		if lv < 0 || int(lv) >= ngroups {
+			panic(fmt.Sprintf("graph: Collapse label[%d] = %d out of range [0,%d)", v, lv, ngroups))
+		}
+		for j := 0; j < g.NCon; j++ {
+			b.vwgt[int(lv)*g.NCon+j] += g.Weight(v, j)
+		}
+		adj := g.Neighbors(v)
+		wgt := g.EdgeWeights(v)
+		for i, u := range adj {
+			if int(u) > v { // each undirected edge once
+				if lu := label[u]; lu != lv {
+					b.AddEdge(int(lv), int(lu), wgt[i])
+				}
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,322 @@
+// Package harness drives the paper's evaluation (Section 5): it runs a
+// snapshot sequence from the impact simulation through both MCML+DT
+// and ML+RCB, carries each algorithm's mesh partition across snapshots
+// via the simulator's persistent node ids (the paper's default update
+// strategy keeps the partition fixed and only refreshes the geometric
+// descriptors), measures the six metrics of Section 5.1 on every
+// snapshot, and averages them into the rows of Table 1.
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/mesh"
+	"repro/internal/metrics"
+	"repro/internal/mlrcb"
+	"repro/internal/sim"
+)
+
+// Config parameterizes one experiment (one k).
+type Config struct {
+	K         int
+	Seed      int64
+	Imbalance float64
+	// SearchTol inflates surface-element boxes during global search
+	// (contact proximity tolerance). Default 0.5.
+	SearchTol float64
+	// ContactEdgeWeight is the weight of contact-contact edges in the
+	// MCML+DT graph (paper: 5). Zero selects 5.
+	ContactEdgeWeight int32
+	// MaxPure/MaxImpure override the guidance-tree thresholds
+	// (0 = auto per Section 4.2 ranges).
+	MaxPure   int
+	MaxImpure int
+	// SkipReshape ablates the tree-guided boundary reshaping.
+	SkipReshape bool
+	// LooseTreeFilter ablates the tight per-leaf point boxes in the
+	// MCML+DT global search (uses raw leaf rectangles instead).
+	LooseTreeFilter bool
+	// Geometric runs the geometry-aware variant: multi-constraint RCB
+	// instead of multilevel graph partitioning (future-work pipeline).
+	Geometric bool
+	// WideGaps selects margin-aware descriptor-tree hyperplanes
+	// (future-work tree induction).
+	WideGaps bool
+	// RepartitionEvery > 0 recomputes both decompositions every that
+	// many snapshots (the hybrid strategy of Section 4.3); 0 keeps the
+	// snapshot-0 partitions throughout (the paper's evaluated setting).
+	RepartitionEvery int
+	// Incremental makes the periodic MCML+DT recomputation use the
+	// multi-constraint repartitioner (bounded migration) instead of a
+	// fresh partition. Only meaningful with RepartitionEvery > 0.
+	Incremental bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.SearchTol == 0 {
+		c.SearchTol = 0.5
+	}
+	if c.ContactEdgeWeight == 0 {
+		c.ContactEdgeWeight = 5
+	}
+	if c.Imbalance == 0 {
+		c.Imbalance = 0.05
+	}
+	return c
+}
+
+// Row holds the six Section 5.1 metrics for one snapshot.
+type Row struct {
+	// MCML+DT side.
+	MCFEComm  int64
+	MCNTNodes int64
+	MCNRemote int64
+	// ML+RCB side.
+	MLFEComm  int64
+	MLM2MComm int64
+	MLUpdComm int64
+	MLNRemote int64
+}
+
+func (r *Row) add(o Row) {
+	r.MCFEComm += o.MCFEComm
+	r.MCNTNodes += o.MCNTNodes
+	r.MCNRemote += o.MCNRemote
+	r.MLFEComm += o.MLFEComm
+	r.MLM2MComm += o.MLM2MComm
+	r.MLUpdComm += o.MLUpdComm
+	r.MLNRemote += o.MLNRemote
+}
+
+// Result is an experiment's outcome.
+type Result struct {
+	K         int
+	Snapshots int
+	Rows      []Row
+	// Avg holds the per-snapshot averages (UpdComm is averaged over
+	// snapshots 1..n-1, since no update happens at snapshot 0).
+	Avg struct {
+		MCFEComm, MCNTNodes, MCNRemote    float64
+		MLFEComm, MLM2MComm, MLNRemote    float64
+		MLUpdComm                         float64
+		MCImbalanceFE, MCImbalanceContact float64
+	}
+}
+
+// Run executes the experiment over the snapshot sequence.
+func Run(snaps []sim.Snapshot, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if len(snaps) == 0 {
+		return nil, fmt.Errorf("harness: no snapshots")
+	}
+
+	coreCfg := core.Config{
+		K:         cfg.K,
+		Seed:      cfg.Seed,
+		Imbalance: cfg.Imbalance,
+		Nodal: mesh.NodalGraphOptions{
+			NCon:              2,
+			ContactEdgeWeight: cfg.ContactEdgeWeight,
+			FEWeight:          1,
+			ContactWeight:     1,
+		},
+		MaxPure:     cfg.MaxPure,
+		MaxImpure:   cfg.MaxImpure,
+		SkipReshape: cfg.SkipReshape,
+		Geometric:   cfg.Geometric,
+		WideGaps:    cfg.WideGaps,
+		Parallel:    true,
+	}
+	mlCfg := mlrcb.Config{K: cfg.K, Seed: cfg.Seed, Imbalance: cfg.Imbalance}
+
+	res := &Result{K: cfg.K, Snapshots: len(snaps)}
+
+	var mcByID, mlByID map[int64]int32
+	var mlState *mlrcb.State
+	prevRCB := map[int64]int32{}
+	var imbFE, imbContact float64
+
+	decompose := func(sn sim.Snapshot) error {
+		d, err := core.Decompose(sn.Mesh, coreCfg)
+		if err != nil {
+			return err
+		}
+		mcByID = labelMap(sn.NodeID, d.Labels)
+		st, err := mlrcb.Decompose(sn.Mesh, mlCfg)
+		if err != nil {
+			return err
+		}
+		mlState = st
+		mlByID = labelMap(sn.NodeID, st.MeshLabels)
+		return nil
+	}
+	if err := decompose(snaps[0]); err != nil {
+		return nil, err
+	}
+
+	for t, sn := range snaps {
+		if cfg.RepartitionEvery > 0 && t > 0 && t%cfg.RepartitionEvery == 0 {
+			if cfg.Incremental {
+				prev := lookupLabels(sn.NodeID, mcByID)
+				d, _, err := core.Redecompose(sn.Mesh, prev, coreCfg)
+				if err != nil {
+					return nil, err
+				}
+				mcByID = labelMap(sn.NodeID, d.Labels)
+			} else if err := decompose(sn); err != nil {
+				return nil, err
+			}
+		}
+		m := sn.Mesh
+		mcLabels := lookupLabels(sn.NodeID, mcByID)
+		mlLabels := lookupLabels(sn.NodeID, mlByID)
+
+		g := m.NodalGraph(mesh.NodalGraphOptions{NCon: 2})
+		var row Row
+		row.MCFEComm = metrics.CommVolume(g, mcLabels, cfg.K)
+		row.MLFEComm = metrics.CommVolume(g, mlLabels, cfg.K)
+
+		// MCML+DT: refresh the descriptor tree for the moved contact
+		// points (partition unchanged — the paper's update strategy).
+		desc, _, contactPts, contactLabels, err := core.DescriptorFor(m, mcLabels, coreCfg)
+		if err != nil {
+			return nil, err
+		}
+		row.MCNTNodes = int64(desc.NumNodes())
+		row.MCNRemote = core.NRemote(m, mcLabels, desc, contactPts, contactLabels, cfg.SearchTol, !cfg.LooseTreeFilter)
+
+		imb := metrics.LoadImbalance(g, mcLabels, cfg.K)
+		imbFE += imb[0]
+		imbContact += imb[1]
+
+		// ML+RCB: incremental RCB update, then the decoupling costs.
+		if t > 0 {
+			mlState.Update(m)
+		}
+		moved := 0
+		curRCB := make(map[int64]int32, len(mlState.ContactNodes))
+		for i, n := range mlState.ContactNodes {
+			id := sn.NodeID[n]
+			curRCB[id] = mlState.ContactLabels[i]
+			if t > 0 {
+				if prev, ok := prevRCB[id]; ok && prev != mlState.ContactLabels[i] {
+					moved++
+				}
+			}
+		}
+		prevRCB = curRCB
+		row.MLUpdComm = int64(moved)
+
+		m2m, err := mlState.M2MComm(mlLabels)
+		if err != nil {
+			return nil, err
+		}
+		row.MLM2MComm = int64(m2m)
+		row.MLNRemote = mlState.NRemote(m, cfg.SearchTol)
+
+		res.Rows = append(res.Rows, row)
+	}
+
+	n := float64(len(res.Rows))
+	var sum Row
+	for _, r := range res.Rows {
+		sum.add(r)
+	}
+	res.Avg.MCFEComm = float64(sum.MCFEComm) / n
+	res.Avg.MCNTNodes = float64(sum.MCNTNodes) / n
+	res.Avg.MCNRemote = float64(sum.MCNRemote) / n
+	res.Avg.MLFEComm = float64(sum.MLFEComm) / n
+	res.Avg.MLM2MComm = float64(sum.MLM2MComm) / n
+	res.Avg.MLNRemote = float64(sum.MLNRemote) / n
+	if n > 1 {
+		res.Avg.MLUpdComm = float64(sum.MLUpdComm) / (n - 1)
+	}
+	res.Avg.MCImbalanceFE = imbFE / n
+	res.Avg.MCImbalanceContact = imbContact / n
+	return res, nil
+}
+
+// labelMap builds a persistent-id -> label map.
+func labelMap(ids []int64, labels []int32) map[int64]int32 {
+	m := make(map[int64]int32, len(ids))
+	for v, id := range ids {
+		m[id] = labels[v]
+	}
+	return m
+}
+
+// lookupLabels resolves the current mesh's labels from a persistent
+// map (nodes only ever disappear, so every id is present).
+func lookupLabels(ids []int64, byID map[int64]int32) []int32 {
+	out := make([]int32, len(ids))
+	for v, id := range ids {
+		out[v] = byID[id]
+	}
+	return out
+}
+
+// WriteCSV emits the per-snapshot metric rows as CSV (one line per
+// snapshot per result), for plotting the evolution of the metrics over
+// the simulation.
+func WriteCSV(w io.Writer, results []*Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{"k", "snapshot",
+		"mc_fecomm", "mc_ntnodes", "mc_nremote",
+		"ml_fecomm", "ml_m2mcomm", "ml_updcomm", "ml_nremote"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range results {
+		for t, row := range r.Rows {
+			rec := []string{
+				strconv.Itoa(r.K), strconv.Itoa(t),
+				strconv.FormatInt(row.MCFEComm, 10),
+				strconv.FormatInt(row.MCNTNodes, 10),
+				strconv.FormatInt(row.MCNRemote, 10),
+				strconv.FormatInt(row.MLFEComm, 10),
+				strconv.FormatInt(row.MLM2MComm, 10),
+				strconv.FormatInt(row.MLUpdComm, 10),
+				strconv.FormatInt(row.MLNRemote, 10),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable renders results in the layout of the paper's Table 1.
+func WriteTable(w io.Writer, results []*Result) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "\tMCML+DT\t\t\tML+RCB\t\t\t")
+	fmt.Fprintln(tw, "\tFEComm\tNTNodes\tNRemote\tFEComm\tM2MComm\tUpdComm\tNRemote")
+	for _, r := range results {
+		fmt.Fprintf(tw, "%d-way\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\n",
+			r.K,
+			r.Avg.MCFEComm, r.Avg.MCNTNodes, r.Avg.MCNRemote,
+			r.Avg.MLFEComm, r.Avg.MLM2MComm, r.Avg.MLUpdComm, r.Avg.MLNRemote)
+	}
+	tw.Flush()
+}
+
+// WriteDerived prints the paper's derived Table 1 claims: the total
+// pre-search communication ratio (ML+RCB pays FEComm + 2*M2MComm +
+// UpdComm against MCML+DT's FEComm) and the NRemote comparison.
+func WriteDerived(w io.Writer, results []*Result) {
+	for _, r := range results {
+		mc := r.Avg.MCFEComm
+		ml := r.Avg.MLFEComm + 2*r.Avg.MLM2MComm + r.Avg.MLUpdComm
+		fmt.Fprintf(w, "%d-way: ML+RCB pre-search communication is %.0f vs MCML+DT %.0f (%+.0f%%); ",
+			r.K, ml, mc, 100*(ml-mc)/mc)
+		fmt.Fprintf(w, "NRemote MCML+DT %.0f vs ML+RCB %.0f (%+.1f%% for ML+RCB)\n",
+			r.Avg.MCNRemote, r.Avg.MLNRemote,
+			100*(r.Avg.MLNRemote-r.Avg.MCNRemote)/r.Avg.MCNRemote)
+	}
+}

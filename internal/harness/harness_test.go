@@ -1,0 +1,243 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func testSnaps(t *testing.T, n int) []sim.Snapshot {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Scene.PlateNX, cfg.Scene.PlateNY, cfg.Scene.PlateNZ = 12, 12, 2
+	cfg.Scene.ProjN, cfg.Scene.ProjLen = 2, 6
+	cfg.Scene.ContactRadius = 4
+	cfg.Steps = 10 * n
+	cfg.Snapshots = n
+	snaps, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snaps
+}
+
+func TestRunProducesAllMetrics(t *testing.T) {
+	snaps := testSnaps(t, 4)
+	r, err := Run(snaps, Config{K: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	a := r.Avg
+	if a.MCFEComm <= 0 || a.MLFEComm <= 0 {
+		t.Error("FEComm missing")
+	}
+	if a.MCNTNodes <= 0 {
+		t.Error("NTNodes missing")
+	}
+	if a.MCNRemote < 0 || a.MLNRemote < 0 {
+		t.Error("NRemote negative")
+	}
+	if a.MLM2MComm <= 0 {
+		t.Error("M2MComm should be positive for decoupled decompositions")
+	}
+	if a.MLUpdComm < 0 {
+		t.Error("UpdComm negative")
+	}
+	if a.MCImbalanceFE < 1 || a.MCImbalanceContact < 1 {
+		t.Errorf("imbalances: %v %v", a.MCImbalanceFE, a.MCImbalanceContact)
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	if _, err := Run(nil, Config{K: 4}); err == nil {
+		t.Error("accepted empty snapshot list")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	snaps := testSnaps(t, 3)
+	a, err := Run(snaps, Config{K: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(snaps, Config{K: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		if a.Rows[i] != b.Rows[i] {
+			t.Fatalf("row %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestUpdCommZeroAtFirstSnapshot(t *testing.T) {
+	snaps := testSnaps(t, 3)
+	r, err := Run(snaps, Config{K: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0].MLUpdComm != 0 {
+		t.Errorf("snapshot 0 UpdComm = %d", r.Rows[0].MLUpdComm)
+	}
+}
+
+func TestRepartitionEveryRuns(t *testing.T) {
+	snaps := testSnaps(t, 4)
+	r, err := Run(snaps, Config{K: 4, Seed: 4, RepartitionEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+}
+
+func TestAblationFlagsChangeResults(t *testing.T) {
+	snaps := testSnaps(t, 2)
+	base, err := Run(snaps, Config{K: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Run(snaps, Config{K: 6, Seed: 5, LooseTreeFilter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Avg.MCNRemote < base.Avg.MCNRemote {
+		t.Errorf("loose filter NRemote %.0f < tight %.0f", loose.Avg.MCNRemote, base.Avg.MCNRemote)
+	}
+	w1, err := Run(snaps, Config{K: 6, Seed: 5, ContactEdgeWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = w1 // just verifying the configuration path runs
+}
+
+func TestWriteTableFormat(t *testing.T) {
+	snaps := testSnaps(t, 2)
+	r, err := Run(snaps, Config{K: 4, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	WriteTable(&buf, []*Result{r})
+	out := buf.String()
+	for _, want := range []string{"MCML+DT", "ML+RCB", "FEComm", "NTNodes", "M2MComm", "UpdComm", "4-way"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	var buf2 bytes.Buffer
+	WriteDerived(&buf2, []*Result{r})
+	if !strings.Contains(buf2.String(), "pre-search communication") {
+		t.Errorf("derived output: %s", buf2.String())
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	snaps := testSnaps(t, 2)
+	r, err := Run(snaps, Config{K: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []*Result{r}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+2 { // header + 2 snapshots
+		t.Fatalf("%d CSV lines, want 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "k,snapshot,mc_fecomm") {
+		t.Errorf("header: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "4,0,") {
+		t.Errorf("row: %s", lines[1])
+	}
+}
+
+func TestIncrementalRepartitionPath(t *testing.T) {
+	snaps := testSnaps(t, 4)
+	r, err := Run(snaps, Config{K: 4, Seed: 8, RepartitionEvery: 2, Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	// All metrics still produced.
+	if r.Avg.MCFEComm <= 0 || r.Avg.MCNTNodes <= 0 {
+		t.Errorf("incremental run lost metrics: %+v", r.Avg)
+	}
+}
+
+func TestGeometricPipelinePath(t *testing.T) {
+	snaps := testSnaps(t, 2)
+	r, err := Run(snaps, Config{K: 4, Seed: 9, Geometric: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Avg.MCNTNodes <= 0 {
+		t.Error("geometric run produced no tree")
+	}
+}
+
+// TestTable1QualitativeShape pins the relations the paper's Table 1
+// demonstrates, on the fast profile: the multi-constraint partition
+// pays more FEComm than the single-constraint baseline; the decoupled
+// baseline pays a large M2MComm (a sizable fraction of the contact
+// nodes) and a small UpdComm; and the total pre-search communication
+// favors MCML+DT.
+func TestTable1QualitativeShape(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Steps = 60
+	cfg.Snapshots = 6
+	snaps, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(snaps, Config{K: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := r.Avg
+	if a.MCFEComm <= a.MLFEComm {
+		t.Errorf("MC FEComm %.0f should exceed ML %.0f (two constraints cost)", a.MCFEComm, a.MLFEComm)
+	}
+	contacts := float64(len(snaps[0].Mesh.ContactNodes()))
+	if a.MLM2MComm < contacts/4 {
+		t.Errorf("M2MComm %.0f suspiciously small for %d contacts", a.MLM2MComm, int(contacts))
+	}
+	if a.MLUpdComm >= a.MLM2MComm {
+		t.Errorf("UpdComm %.0f should be far below M2MComm %.0f", a.MLUpdComm, a.MLM2MComm)
+	}
+	mlTotal := a.MLFEComm + 2*a.MLM2MComm + a.MLUpdComm
+	if mlTotal <= a.MCFEComm {
+		t.Errorf("headline inverted: ML total %.0f <= MC FEComm %.0f", mlTotal, a.MCFEComm)
+	}
+}
+
+// TestLabelsCarriedAcrossErosion verifies the persistent-id label
+// carry: on later snapshots every node must still have a label in
+// range even after erosion removed and renumbered nodes.
+func TestLabelsCarriedAcrossErosion(t *testing.T) {
+	snaps := testSnaps(t, 5)
+	// The mesh must actually have shrunk for this test to bite.
+	if snaps[len(snaps)-1].Mesh.NumNodes() >= snaps[0].Mesh.NumNodes() {
+		t.Skip("no erosion in this configuration")
+	}
+	r, err := Run(snaps, Config{K: 5, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Metrics on the last row must still be sane.
+	last := r.Rows[len(r.Rows)-1]
+	if last.MCFEComm <= 0 || last.MCNTNodes <= 0 {
+		t.Errorf("last-row metrics degenerate: %+v", last)
+	}
+}

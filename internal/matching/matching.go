@@ -1,0 +1,140 @@
+// Package matching implements maximum-weight bipartite matching
+// (the Hungarian / Kuhn–Munkres algorithm). The ML+RCB baseline uses it
+// to relabel the contact-phase (RCB) partitions against the FE-phase
+// partitions so that the number of contact points living on a different
+// processor in the two decompositions — the paper's M2MComm metric —
+// is minimized ("we used a maximal weight matching algorithm to
+// optimize the mapping between the two partitions", Section 5.1).
+package matching
+
+import "fmt"
+
+// MaxWeightAssign solves the n x n assignment problem: given
+// w[i][j] >= 0, it returns an assignment match with match[i] = j
+// maximizing the total weight, and that total. The matrix may be
+// rectangular (rows <= cols); every row is assigned a distinct column.
+//
+// The implementation is the O(rows²·cols) potential-based Hungarian
+// algorithm (Jonker–Volgenant style shortest augmenting paths).
+func MaxWeightAssign(w [][]int64) (match []int, total int64, err error) {
+	n := len(w)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	m := len(w[0])
+	if m < n {
+		return nil, 0, fmt.Errorf("matching: %d rows > %d cols", n, m)
+	}
+	var maxW int64
+	for i := range w {
+		if len(w[i]) != m {
+			return nil, 0, fmt.Errorf("matching: ragged matrix (row %d has %d cols, want %d)", i, len(w[i]), m)
+		}
+		for _, v := range w[i] {
+			if v < 0 {
+				return nil, 0, fmt.Errorf("matching: negative weight %d", v)
+			}
+			if v > maxW {
+				maxW = v
+			}
+		}
+	}
+
+	// Convert to a min-cost problem: cost = maxW - w.
+	// Standard JV with 1-based virtual row/col 0.
+	const inf = int64(1) << 62
+	u := make([]int64, n+1)
+	v := make([]int64, m+1)
+	p := make([]int, m+1) // p[j] = row matched to column j (0 = none)
+	way := make([]int, m+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]int64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			var delta int64 = inf
+			j1 := 0
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cost := maxW - w[i0-1][j-1]
+				cur := cost - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	match = make([]int, n)
+	for j := 1; j <= m; j++ {
+		if p[j] > 0 {
+			match[p[j]-1] = j - 1
+			total += w[p[j]-1][j-1]
+		}
+	}
+	return match, total, nil
+}
+
+// OverlapRelabel computes, for two k-way labelings a and b of the same
+// item set, the permutation perm of b's labels that maximizes the
+// number of items with a[i] == perm[b[i]], and returns perm together
+// with the number of items that still disagree after relabeling.
+//
+// This is exactly the M2MComm computation: a = FE-phase partition of
+// the contact points, b = RCB contact-phase partition.
+func OverlapRelabel(a, b []int32, k int) (perm []int32, mismatched int, err error) {
+	if len(a) != len(b) {
+		return nil, 0, fmt.Errorf("matching: label slices differ in length: %d vs %d", len(a), len(b))
+	}
+	overlap := make([][]int64, k)
+	for i := range overlap {
+		overlap[i] = make([]int64, k)
+	}
+	for i := range a {
+		la, lb := a[i], b[i]
+		if la < 0 || int(la) >= k || lb < 0 || int(lb) >= k {
+			return nil, 0, fmt.Errorf("matching: label out of range at %d: %d/%d", i, la, lb)
+		}
+		overlap[lb][la]++ // rows: b's labels; cols: a's labels
+	}
+	match, agree, err := MaxWeightAssign(overlap)
+	if err != nil {
+		return nil, 0, err
+	}
+	perm = make([]int32, k)
+	for bl, al := range match {
+		perm[bl] = int32(al)
+	}
+	return perm, len(a) - int(agree), nil
+}

@@ -1,0 +1,189 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTinyAssignments(t *testing.T) {
+	cases := []struct {
+		w     [][]int64
+		total int64
+	}{
+		{[][]int64{{5}}, 5},
+		{[][]int64{{1, 2}, {3, 4}}, 1 + 4}, // diag {1,4}=5 vs anti {2,3}=5: both 5
+		{[][]int64{{10, 1}, {1, 10}}, 20},
+		{[][]int64{{0, 0, 9}, {0, 9, 0}, {9, 0, 0}}, 27},
+		{[][]int64{{7, 7, 7}, {7, 7, 7}, {7, 7, 7}}, 21},
+	}
+	for i, c := range cases {
+		match, total, err := MaxWeightAssign(c.w)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if total != c.total {
+			t.Errorf("case %d: total = %d, want %d (match %v)", i, total, c.total, match)
+		}
+		// The match must be a permutation of distinct columns.
+		seen := map[int]bool{}
+		for _, j := range match {
+			if seen[j] {
+				t.Errorf("case %d: column %d assigned twice", i, j)
+			}
+			seen[j] = true
+		}
+	}
+}
+
+func TestRectangular(t *testing.T) {
+	// 2 rows, 3 columns: pick the best 2 columns.
+	w := [][]int64{
+		{1, 5, 2},
+		{4, 6, 3},
+	}
+	match, total, err := MaxWeightAssign(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best: row0->col1 (5), row1->col0 (4) = 9.
+	if total != 9 {
+		t.Errorf("total = %d, want 9 (match %v)", total, match)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, _, err := MaxWeightAssign([][]int64{{1, 2}, {3}}); err == nil {
+		t.Error("accepted ragged matrix")
+	}
+	if _, _, err := MaxWeightAssign([][]int64{{-1}}); err == nil {
+		t.Error("accepted negative weight")
+	}
+	if _, _, err := MaxWeightAssign([][]int64{{1}, {2}}); err == nil {
+		t.Error("accepted more rows than cols")
+	}
+	if m, total, err := MaxWeightAssign(nil); err != nil || m != nil || total != 0 {
+		t.Error("empty input should be trivially fine")
+	}
+}
+
+// bruteForce finds the optimal assignment by trying all permutations.
+func bruteForce(w [][]int64) int64 {
+	n := len(w)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var best int64 = -1
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			var s int64
+			for r, c := range perm {
+				s += w[r][c]
+			}
+			if s > best {
+				best = s
+			}
+			return
+		}
+		for j := i; j < n; j++ {
+			perm[i], perm[j] = perm[j], perm[i]
+			rec(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestQuickAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		w := make([][]int64, n)
+		for i := range w {
+			w[i] = make([]int64, n)
+			for j := range w[i] {
+				w[i][j] = int64(r.Intn(50))
+			}
+		}
+		_, total, err := MaxWeightAssign(w)
+		if err != nil {
+			return false
+		}
+		return total == bruteForce(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlapRelabelPerfect(t *testing.T) {
+	// b is a relabeled copy of a: mismatch must be 0.
+	a := []int32{0, 0, 1, 1, 2, 2}
+	b := []int32{2, 2, 0, 0, 1, 1}
+	perm, mismatch, err := OverlapRelabel(a, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mismatch != 0 {
+		t.Fatalf("mismatch = %d, want 0", mismatch)
+	}
+	for i := range a {
+		if perm[b[i]] != a[i] {
+			t.Fatalf("perm does not realize the relabeling at %d", i)
+		}
+	}
+}
+
+func TestOverlapRelabelPartial(t *testing.T) {
+	// One stray point: mismatch exactly 1.
+	a := []int32{0, 0, 0, 1, 1, 1}
+	b := []int32{1, 1, 1, 0, 0, 1} // b=1 mostly maps to a=0, except the last
+	_, mismatch, err := OverlapRelabel(a, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mismatch != 1 {
+		t.Fatalf("mismatch = %d, want 1", mismatch)
+	}
+}
+
+func TestOverlapRelabelErrors(t *testing.T) {
+	if _, _, err := OverlapRelabel([]int32{0}, []int32{0, 1}, 2); err == nil {
+		t.Error("accepted length mismatch")
+	}
+	if _, _, err := OverlapRelabel([]int32{5}, []int32{0}, 2); err == nil {
+		t.Error("accepted out-of-range label")
+	}
+}
+
+// Property: OverlapRelabel never does worse than the identity mapping.
+func TestQuickRelabelBeatsIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		k := 1 + r.Intn(8)
+		a := make([]int32, n)
+		b := make([]int32, n)
+		for i := range a {
+			a[i] = int32(r.Intn(k))
+			b[i] = int32(r.Intn(k))
+		}
+		_, mismatch, err := OverlapRelabel(a, b, k)
+		if err != nil {
+			return false
+		}
+		identity := 0
+		for i := range a {
+			if a[i] != b[i] {
+				identity++
+			}
+		}
+		return mismatch <= identity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

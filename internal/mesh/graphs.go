@@ -1,0 +1,177 @@
+package mesh
+
+import (
+	"slices"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// NodalGraphOptions controls the construction of the two-constraint
+// nodal graph of Section 4.2.
+type NodalGraphOptions struct {
+	// NCon is the number of vertex weight components: 1 for the plain
+	// (single-constraint) nodal graph used by ML+RCB's mesh phase, 2 for
+	// the contact/impact formulation where w1 models the FE phase and w2
+	// the contact-search phase.
+	NCon int
+	// ContactEdgeWeight is assigned to edges whose both endpoints are
+	// contact nodes; all other edges get weight 1. The paper's
+	// experiments use 5.
+	ContactEdgeWeight int32
+	// FEWeight is w1(v) for every node; ContactWeight is w2(v) for
+	// contact nodes (w2 is zero elsewhere). The paper's experiments set
+	// both to 1.
+	FEWeight      int32
+	ContactWeight int32
+}
+
+// DefaultNodalOptions returns the configuration used in the paper's
+// evaluation: unit vertex weights and contact-edge weight 5.
+func DefaultNodalOptions() NodalGraphOptions {
+	return NodalGraphOptions{NCon: 2, ContactEdgeWeight: 5, FEWeight: 1, ContactWeight: 1}
+}
+
+// NodalGraph builds the nodal graph of the mesh: one vertex per mesh
+// node, one edge per mesh edge (deduplicated across elements). Vertex
+// and edge weights follow opt.
+func (m *Mesh) NodalGraph(opt NodalGraphOptions) *graph.Graph {
+	if opt.NCon < 1 {
+		opt.NCon = 1
+	}
+	if opt.FEWeight <= 0 {
+		opt.FEWeight = 1
+	}
+	if opt.ContactWeight <= 0 {
+		opt.ContactWeight = 1
+	}
+	if opt.ContactEdgeWeight <= 0 {
+		opt.ContactEdgeWeight = 1
+	}
+	contact := m.ContactMask()
+	b := graph.NewBuilder(m.NumNodes(), opt.NCon)
+	for v := 0; v < m.NumNodes(); v++ {
+		b.SetWeight(v, 0, opt.FEWeight)
+		if opt.NCon >= 2 && contact[v] {
+			b.SetWeight(v, 1, opt.ContactWeight)
+		}
+	}
+	// Deduplicate mesh edges before insertion: structured meshes share
+	// each edge among several elements, and Builder dedup would
+	// otherwise sum the contact weights. Sort-based dedup of packed
+	// (u,v) keys is several times faster than a hash set at mesh scale.
+	keys := make([]uint64, 0, m.NumElems()*6)
+	for e := 0; e < m.NumElems(); e++ {
+		nodes := m.ElemNodes(e)
+		for _, pair := range m.Types[e].Edges() {
+			u, v := nodes[pair[0]], nodes[pair[1]]
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			keys = append(keys, uint64(u)<<32|uint64(uint32(v)))
+		}
+	}
+	slices.Sort(keys)
+	var prev uint64 = ^uint64(0)
+	for _, k := range keys {
+		if k == prev {
+			continue
+		}
+		prev = k
+		u, v := int32(k>>32), int32(uint32(k))
+		w := int32(1)
+		if contact[u] && contact[v] {
+			w = opt.ContactEdgeWeight
+		}
+		b.AddEdge(int(u), int(v), w)
+	}
+	return b.Build()
+}
+
+// DualGraph builds the dual graph of the mesh: one vertex per element,
+// an edge between elements sharing a facet (an edge in 2D, a face in
+// 3D). All weights are 1.
+func (m *Mesh) DualGraph() *graph.Graph {
+	b := graph.NewBuilder(m.NumElems(), 1)
+	for e := 0; e < m.NumElems(); e++ {
+		b.SetWeight(e, 0, 1)
+	}
+	type faceKey [4]int32 // sorted node ids, -1 padded
+	owner := make(map[faceKey]int32, m.NumElems()*3)
+	var tmp [4]int32
+	for e := 0; e < m.NumElems(); e++ {
+		nodes := m.ElemNodes(e)
+		for _, face := range m.Types[e].Faces() {
+			k := faceKey{-1, -1, -1, -1}
+			for i, li := range face {
+				tmp[i] = nodes[li]
+			}
+			ns := tmp[:len(face)]
+			sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+			copy(k[:], ns)
+			if prev, ok := owner[k]; ok {
+				b.AddEdge(int(prev), e, 1)
+				delete(owner, k) // a facet is shared by at most two elements
+			} else {
+				owner[k] = int32(e)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// BoundaryFacets returns the facets that belong to exactly one element,
+// as SurfaceElem values (useful for designating contact surfaces on
+// generated meshes). The facet node order is the element-local order.
+func (m *Mesh) BoundaryFacets() []SurfaceElem {
+	type faceKey [4]int32
+	type rec struct {
+		elem  int32
+		nodes []int32
+		count int
+	}
+	recs := make(map[faceKey]*rec, m.NumElems()*3)
+	var tmp [4]int32
+	for e := 0; e < m.NumElems(); e++ {
+		nodes := m.ElemNodes(e)
+		for _, face := range m.Types[e].Faces() {
+			orig := make([]int32, len(face))
+			for i, li := range face {
+				orig[i] = nodes[li]
+				tmp[i] = nodes[li]
+			}
+			ns := tmp[:len(face)]
+			sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+			k := faceKey{-1, -1, -1, -1}
+			copy(k[:], ns)
+			if r, ok := recs[k]; ok {
+				r.count++
+			} else {
+				recs[k] = &rec{elem: int32(e), nodes: orig, count: 1}
+			}
+		}
+	}
+	var out []SurfaceElem
+	for _, r := range recs {
+		if r.count == 1 {
+			out = append(out, SurfaceElem{Nodes: r.nodes, Elem: r.elem})
+		}
+	}
+	// Deterministic order for reproducibility.
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Elem != b.Elem {
+			return a.Elem < b.Elem
+		}
+		for k := 0; k < len(a.Nodes) && k < len(b.Nodes); k++ {
+			if a.Nodes[k] != b.Nodes[k] {
+				return a.Nodes[k] < b.Nodes[k]
+			}
+		}
+		return len(a.Nodes) < len(b.Nodes)
+	})
+	return out
+}

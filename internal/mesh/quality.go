@@ -1,0 +1,85 @@
+package mesh
+
+import "repro/internal/geom"
+
+// Element geometry quality: signed measures detect inverted (tangled)
+// elements, which a deforming simulation must never produce.
+
+// ElemMeasure returns the area (2D) or volume (3D) of element e,
+// signed: positive for correctly oriented elements, negative when the
+// element is inverted. Quads and hexes are decomposed into simplices;
+// their measure is the sum (a non-convex but untangled quad still
+// reports a positive area).
+func (m *Mesh) ElemMeasure(e int) float64 {
+	nodes := m.ElemNodes(e)
+	c := m.Coords
+	switch m.Types[e] {
+	case Tri3:
+		return triArea(c[nodes[0]], c[nodes[1]], c[nodes[2]])
+	case Quad4:
+		return triArea(c[nodes[0]], c[nodes[1]], c[nodes[2]]) +
+			triArea(c[nodes[0]], c[nodes[2]], c[nodes[3]])
+	case Tet4:
+		return tetVolume(c[nodes[0]], c[nodes[1]], c[nodes[2]], c[nodes[3]])
+	case Hex8:
+		// 6-tet decomposition (same one meshgen uses).
+		var sum float64
+		for _, t := range [6][4]int{
+			{0, 1, 2, 6}, {0, 2, 3, 6}, {0, 3, 7, 6},
+			{0, 7, 4, 6}, {0, 4, 5, 6}, {0, 5, 1, 6},
+		} {
+			sum += tetVolume(c[nodes[t[0]]], c[nodes[t[1]]], c[nodes[t[2]]], c[nodes[t[3]]])
+		}
+		return sum
+	}
+	return 0
+}
+
+// triArea returns the signed area of triangle (a,b,c): for 2D meshes
+// the z components are zero and the sign follows the winding; for
+// triangles embedded in 3D the magnitude of the cross product is used
+// (always >= 0).
+func triArea(a, b, c geom.Point) float64 {
+	u := b.Sub(a)
+	v := c.Sub(a)
+	cz := u[0]*v[1] - u[1]*v[0]
+	if u[2] == 0 && v[2] == 0 {
+		return cz / 2
+	}
+	cx := u[1]*v[2] - u[2]*v[1]
+	cy := u[2]*v[0] - u[0]*v[2]
+	n := geom.Point{cx, cy, cz}
+	return n.Norm() / 2
+}
+
+// tetVolume returns the signed volume of tetrahedron (a,b,c,d).
+func tetVolume(a, b, c, d geom.Point) float64 {
+	u := b.Sub(a)
+	v := c.Sub(a)
+	w := d.Sub(a)
+	det := u[0]*(v[1]*w[2]-v[2]*w[1]) -
+		u[1]*(v[0]*w[2]-v[2]*w[0]) +
+		u[2]*(v[0]*w[1]-v[1]*w[0])
+	return det / 6
+}
+
+// CountInverted returns the number of elements with non-positive
+// measure — tangled or degenerate elements a valid mesh must not have.
+func (m *Mesh) CountInverted() int {
+	n := 0
+	for e := 0; e < m.NumElems(); e++ {
+		if m.ElemMeasure(e) <= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalMeasure returns the summed element measure (total area/volume).
+func (m *Mesh) TotalMeasure() float64 {
+	var sum float64
+	for e := 0; e < m.NumElems(); e++ {
+		sum += m.ElemMeasure(e)
+	}
+	return sum
+}

@@ -1,0 +1,174 @@
+package mesh
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// Text mesh format — a line-oriented, diff-friendly encoding for small
+// meshes, fixtures, and interop:
+//
+//	mesh 2|3
+//	node <x> <y> [<z>]
+//	elem tri3|quad4|tet4|hex8 <n0> <n1> ...
+//	surf <elem|-1> <n0> <n1> ...
+//	# comments and blank lines are ignored
+//
+// Node and element ids are assigned in order of appearance (0-based).
+
+// WriteText encodes the mesh in the text format.
+func (m *Mesh) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "mesh %d\n", m.Dim)
+	for _, p := range m.Coords {
+		if m.Dim == 2 {
+			fmt.Fprintf(bw, "node %g %g\n", p[0], p[1])
+		} else {
+			fmt.Fprintf(bw, "node %g %g %g\n", p[0], p[1], p[2])
+		}
+	}
+	for e := 0; e < m.NumElems(); e++ {
+		fmt.Fprintf(bw, "elem %s", m.Types[e])
+		for _, n := range m.ElemNodes(e) {
+			fmt.Fprintf(bw, " %d", n)
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, s := range m.Surface {
+		fmt.Fprintf(bw, "surf %d", s.Elem)
+		for _, n := range s.Nodes {
+			fmt.Fprintf(bw, " %d", n)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ReadText decodes a mesh from the text format.
+func ReadText(r io.Reader) (*Mesh, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	m := &Mesh{EPtr: []int32{0}}
+	sawHeader := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "mesh":
+			if sawHeader {
+				return nil, fmt.Errorf("mesh: line %d: duplicate header", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("mesh: line %d: malformed header", lineNo)
+			}
+			d, err := strconv.Atoi(fields[1])
+			if err != nil || (d != 2 && d != 3) {
+				return nil, fmt.Errorf("mesh: line %d: bad dimension %q", lineNo, fields[1])
+			}
+			m.Dim = d
+			sawHeader = true
+		case "node":
+			if !sawHeader {
+				return nil, fmt.Errorf("mesh: line %d: node before header", lineNo)
+			}
+			want := m.Dim
+			if len(fields) != 1+want {
+				return nil, fmt.Errorf("mesh: line %d: node needs %d coordinates", lineNo, want)
+			}
+			var p geom.Point
+			for d := 0; d < want; d++ {
+				v, err := strconv.ParseFloat(fields[1+d], 64)
+				if err != nil {
+					return nil, fmt.Errorf("mesh: line %d: bad coordinate %q", lineNo, fields[1+d])
+				}
+				p[d] = v
+			}
+			m.Coords = append(m.Coords, p)
+		case "elem":
+			if !sawHeader {
+				return nil, fmt.Errorf("mesh: line %d: elem before header", lineNo)
+			}
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("mesh: line %d: elem needs a type", lineNo)
+			}
+			et, err := parseElemType(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("mesh: line %d: %v", lineNo, err)
+			}
+			ids, err := parseIDs(fields[2:])
+			if err != nil {
+				return nil, fmt.Errorf("mesh: line %d: %v", lineNo, err)
+			}
+			if len(ids) != et.NumNodes() {
+				return nil, fmt.Errorf("mesh: line %d: %s needs %d nodes, got %d", lineNo, et, et.NumNodes(), len(ids))
+			}
+			m.Types = append(m.Types, et)
+			m.ENodes = append(m.ENodes, ids...)
+			m.EPtr = append(m.EPtr, int32(len(m.ENodes)))
+		case "surf":
+			if !sawHeader {
+				return nil, fmt.Errorf("mesh: line %d: surf before header", lineNo)
+			}
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("mesh: line %d: surf needs an element and >=2 nodes", lineNo)
+			}
+			el, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("mesh: line %d: bad element id %q", lineNo, fields[1])
+			}
+			ids, err := parseIDs(fields[2:])
+			if err != nil {
+				return nil, fmt.Errorf("mesh: line %d: %v", lineNo, err)
+			}
+			m.Surface = append(m.Surface, SurfaceElem{Nodes: ids, Elem: int32(el)})
+		default:
+			return nil, fmt.Errorf("mesh: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("mesh: missing header")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func parseElemType(s string) (ElemType, error) {
+	switch s {
+	case "tri3":
+		return Tri3, nil
+	case "quad4":
+		return Quad4, nil
+	case "tet4":
+		return Tet4, nil
+	case "hex8":
+		return Hex8, nil
+	}
+	return 0, fmt.Errorf("unknown element type %q", s)
+}
+
+func parseIDs(fields []string) ([]int32, error) {
+	out := make([]int32, len(fields))
+	for i, f := range fields {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad node id %q", f)
+		}
+		out[i] = int32(v)
+	}
+	return out, nil
+}

@@ -1,0 +1,354 @@
+package meshgen
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+)
+
+func TestStructuredBoxCounts(t *testing.T) {
+	s := BoxSpec{Nx: 3, Ny: 2, Nz: 4, Origin: geom.P3(1, 2, 3), H: geom.P3(0.5, 1, 2)}
+	m := StructuredBox(s)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumNodes() != s.NumNodes() || m.NumNodes() != 4*3*5 {
+		t.Fatalf("nodes = %d, want %d", m.NumNodes(), 4*3*5)
+	}
+	if m.NumElems() != s.NumCells() || m.NumElems() != 3*2*4 {
+		t.Fatalf("elems = %d, want %d", m.NumElems(), 3*2*4)
+	}
+	// Corner coordinates.
+	box := m.Box()
+	if box.Min != geom.P3(1, 2, 3) {
+		t.Errorf("Min = %v", box.Min)
+	}
+	if box.Max != geom.P3(1+3*0.5, 2+2*1, 3+4*2) {
+		t.Errorf("Max = %v", box.Max)
+	}
+}
+
+func TestStructuredBoxConnectivity(t *testing.T) {
+	m := StructuredBox(BoxSpec{Nx: 2, Ny: 2, Nz: 2, H: geom.P3(1, 1, 1)})
+	d := m.DualGraph()
+	// 2x2x2 hexes: interior faces = 3 orientations * 2*2*1 ... = 12.
+	if d.NE() != 12 {
+		t.Fatalf("dual NE = %d, want 12", d.NE())
+	}
+	// Boundary quads: 6 sides * 4 = 24.
+	if bf := m.BoundaryFacets(); len(bf) != 24 {
+		t.Fatalf("boundary facets = %d, want 24", len(bf))
+	}
+}
+
+func TestStructuredTetBoxConforming(t *testing.T) {
+	m := StructuredTetBox(BoxSpec{Nx: 2, Ny: 2, Nz: 2, H: geom.P3(1, 1, 1)})
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumElems() != 6*8 {
+		t.Fatalf("elems = %d, want 48", m.NumElems())
+	}
+	// Conforming decomposition: the boundary of the 2x2x2 cube must be
+	// exactly 2 triangles per boundary quad = 48 facets.
+	if bf := m.BoundaryFacets(); len(bf) != 48 {
+		t.Fatalf("boundary facets = %d, want 48", len(bf))
+	}
+	// And the dual graph of the tets must be connected.
+	d := m.DualGraph()
+	_, n := d.Components()
+	if n != 1 {
+		t.Fatalf("tet dual has %d components, want 1", n)
+	}
+}
+
+func TestStructuredQuadAndTriGrids(t *testing.T) {
+	q := StructuredQuadGrid(Grid2DSpec{Nx: 4, Ny: 3, H: geom.P2(1, 1)})
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if q.NumNodes() != 5*4 || q.NumElems() != 12 {
+		t.Fatalf("quad grid %d nodes %d elems", q.NumNodes(), q.NumElems())
+	}
+	tr := StructuredTriGrid(Grid2DSpec{Nx: 4, Ny: 3, H: geom.P2(1, 1)})
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumElems() != 24 {
+		t.Fatalf("tri grid %d elems", tr.NumElems())
+	}
+	// Boundary of the 2D grids: perimeter edges = 2*(4+3) = 14 for the
+	// quad grid; the tri split adds no boundary edges.
+	if bf := tr.BoundaryFacets(); len(bf) != 14 {
+		t.Fatalf("tri boundary = %d, want 14", len(bf))
+	}
+}
+
+func TestAppendOffsets(t *testing.T) {
+	a := StructuredBox(BoxSpec{Nx: 1, Ny: 1, Nz: 1, H: geom.P3(1, 1, 1)})
+	b := StructuredBox(BoxSpec{Nx: 1, Ny: 1, Nz: 1, Origin: geom.P3(5, 0, 0), H: geom.P3(1, 1, 1)})
+	b.Surface = b.BoundaryFacets()
+	nOff, eOff, err := Append(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nOff != 8 || eOff != 1 {
+		t.Fatalf("offsets = %d, %d", nOff, eOff)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNodes() != 16 || a.NumElems() != 2 {
+		t.Fatalf("merged: %d nodes %d elems", a.NumNodes(), a.NumElems())
+	}
+	// Surface facets were renumbered into the second body's node range.
+	for _, s := range a.Surface {
+		for _, n := range s.Nodes {
+			if n < 8 {
+				t.Fatalf("surface node %d not offset", n)
+			}
+		}
+		if s.Elem != 1 {
+			t.Fatalf("surface elem = %d, want 1", s.Elem)
+		}
+	}
+	// Dim mismatch is rejected.
+	q := StructuredQuadGrid(Grid2DSpec{Nx: 1, Ny: 1, H: geom.P2(1, 1)})
+	if _, _, err := Append(a, q); err == nil {
+		t.Error("Append accepted 2D mesh into 3D mesh")
+	}
+}
+
+func TestProjectileScene(t *testing.T) {
+	cfg := DefaultScene()
+	cfg.PlateNX, cfg.PlateNY, cfg.PlateNZ = 10, 10, 2
+	cfg.ProjN, cfg.ProjLen = 2, 6
+	cfg.ContactRadius = 3
+	m, si, err := ProjectileScene(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Three disjoint bodies.
+	g := m.NodalGraph(mesh.NodalGraphOptions{NCon: 1})
+	if _, n := g.Components(); n != 3 {
+		t.Fatalf("scene has %d components, want 3", n)
+	}
+	// Ranges partition the node and element sets.
+	if si.Nodes[Plate1].Lo != 0 || si.Nodes[Projectile].Hi != int32(m.NumNodes()) {
+		t.Error("node ranges do not cover the mesh")
+	}
+	if si.Elems[Plate1].Lo != 0 || si.Elems[Projectile].Hi != int32(m.NumElems()) {
+		t.Error("element ranges do not cover the mesh")
+	}
+	// Projectile sits above plate 1.
+	projBox := geom.Empty()
+	for n := si.Nodes[Projectile].Lo; n < si.Nodes[Projectile].Hi; n++ {
+		projBox = projBox.Extend(m.Coords[n])
+	}
+	if projBox.Min[2] < si.Plate1Top {
+		t.Errorf("projectile tip %g below plate1 top %g", projBox.Min[2], si.Plate1Top)
+	}
+	// Contact surface exists and every projectile boundary facet is in it.
+	if len(m.Surface) == 0 {
+		t.Fatal("no contact surface designated")
+	}
+	nProj := 0
+	for _, s := range m.Surface {
+		if si.BodyOfElem(s.Elem) == Projectile {
+			nProj++
+		}
+	}
+	if nProj == 0 {
+		t.Error("projectile boundary missing from contact surface")
+	}
+	// Plate contact facets stay within the radius (centroid check).
+	for _, s := range m.Surface {
+		if si.BodyOfElem(s.Elem) == Projectile {
+			continue
+		}
+		var cx, cy float64
+		for _, n := range s.Nodes {
+			cx += m.Coords[n][0]
+			cy += m.Coords[n][1]
+		}
+		k := float64(len(s.Nodes))
+		cx, cy = cx/k, cy/k
+		dx, dy := cx-si.Axis[0], cy-si.Axis[1]
+		if dx*dx+dy*dy > cfg.ContactRadius*cfg.ContactRadius*1.0001 {
+			t.Fatalf("plate contact facet outside radius: (%g,%g)", cx, cy)
+		}
+	}
+}
+
+func TestProjectileSceneHexMode(t *testing.T) {
+	cfg := DefaultScene()
+	cfg.Tets = false
+	cfg.PlateNX, cfg.PlateNY, cfg.PlateNZ = 8, 8, 2
+	cfg.ProjN, cfg.ProjLen = 2, 4
+	m, _, err := ProjectileScene(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, et := range m.Types {
+		if et != mesh.Hex8 {
+			t.Fatalf("hex mode produced %v", et)
+		}
+	}
+}
+
+func TestProjectileSceneRefine(t *testing.T) {
+	cfg := DefaultScene()
+	cfg.PlateNX, cfg.PlateNY, cfg.PlateNZ = 6, 6, 2
+	cfg.ProjN, cfg.ProjLen = 2, 4
+	m1, _, err := ProjectileScene(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Refine = 2
+	m2, _, err := ProjectileScene(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumElems() != 8*m1.NumElems() {
+		t.Errorf("refine 2 elems = %d, want 8x%d", m2.NumElems(), m1.NumElems())
+	}
+	// Refinement must preserve the physical extents.
+	if m1.Box() != m2.Box() {
+		t.Errorf("refined box %v != base box %v", m2.Box(), m1.Box())
+	}
+}
+
+func TestProjectileSceneRejectsBadConfig(t *testing.T) {
+	cfg := DefaultScene()
+	cfg.Refine = 0
+	if _, _, err := ProjectileScene(cfg); err == nil {
+		t.Error("accepted Refine=0")
+	}
+	cfg = DefaultScene()
+	cfg.ProjN = 0
+	if _, _, err := ProjectileScene(cfg); err == nil {
+		t.Error("accepted ProjN=0")
+	}
+}
+
+func TestContactNodeFraction(t *testing.T) {
+	// The default scene should give a contact-node fraction in the
+	// neighbourhood of the paper's 13%.
+	m, _, err := ProjectileScene(DefaultScene())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(len(m.ContactNodes())) / float64(m.NumNodes())
+	if frac < 0.05 || frac > 0.30 {
+		t.Errorf("contact node fraction = %.3f, want within [0.05, 0.30]", frac)
+	}
+	t.Logf("scene: %d nodes, %d elems, %d surface elems, %d contact nodes (%.1f%%)",
+		m.NumNodes(), m.NumElems(), len(m.Surface), len(m.ContactNodes()), 100*frac)
+}
+
+func TestFullFacesDesignation(t *testing.T) {
+	cfg := DefaultScene()
+	cfg.PlateNX, cfg.PlateNY, cfg.PlateNZ = 10, 10, 3
+	cfg.ProjN, cfg.ProjLen = 2, 4
+	cfg.FullFaces = true
+	cfg.ContactRadius = 2
+	m, si, err := ProjectileScene(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every horizontal plate facet (top and bottom faces) must be a
+	// contact surface: each plate contributes 2 faces; with tets each
+	// quad face is 2 triangles -> 2 plates * 2 faces * 10*10*2 = 800,
+	// plus projectile surface and the radius patch on crater walls.
+	nPlateHoriz := 0
+	for _, s := range m.Surface {
+		if si.BodyOfElem(s.Elem) != Projectile {
+			// All plate contact facets here are horizontal or within
+			// the small radius; count the horizontal ones.
+			z0 := m.Coords[s.Nodes[0]][2]
+			flat := true
+			for _, n := range s.Nodes[1:] {
+				if m.Coords[n][2] != z0 {
+					flat = false
+					break
+				}
+			}
+			if flat {
+				nPlateHoriz++
+			}
+		}
+	}
+	want := 2 * 2 * cfg.PlateNX * cfg.PlateNY * 2 // plates * faces * tris
+	if nPlateHoriz < want {
+		t.Errorf("horizontal contact facets = %d, want >= %d", nPlateHoriz, want)
+	}
+	// Without FullFaces, far fewer.
+	cfg.FullFaces = false
+	m2, _, err := ProjectileScene(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m2.Surface) >= len(m.Surface) {
+		t.Errorf("FullFaces did not add facets: %d vs %d", len(m.Surface), len(m2.Surface))
+	}
+}
+
+func TestHorizontalFacetClassifier(t *testing.T) {
+	m, _, err := ProjectileScene(DefaultScene())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A facet with all-equal z is horizontal; a vertical wall facet is not.
+	horiz := mesh.SurfaceElem{Nodes: []int32{0, 1, 2}}
+	// Build a tiny mesh to test directly.
+	tm := &mesh.Mesh{
+		Dim: 3,
+		Coords: []geom.Point{
+			geom.P3(0, 0, 1), geom.P3(1, 0, 1), geom.P3(0, 1, 1), // flat at z=1
+			geom.P3(0, 0, 0), geom.P3(0, 1, 0), geom.P3(0, 0, 1), // x=0 wall
+		},
+		EPtr: []int32{0},
+	}
+	_ = m
+	if !HorizontalFacetForTest(tm, horiz) {
+		t.Error("flat facet not classified horizontal")
+	}
+	wall := mesh.SurfaceElem{Nodes: []int32{3, 4, 5}}
+	if HorizontalFacetForTest(tm, wall) {
+		t.Error("vertical wall classified horizontal")
+	}
+}
+
+func TestImpactOffset(t *testing.T) {
+	cfg := DefaultScene()
+	cfg.PlateNX, cfg.PlateNY, cfg.PlateNZ = 12, 12, 2
+	cfg.ProjN, cfg.ProjLen = 2, 4
+	cfg.ContactRadius = 3
+	cfg.ImpactOffsetX, cfg.ImpactOffsetY = 3, -2
+	m, si, err := ProjectileScene(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si.Axis[0] != 9 || si.Axis[1] != 4 {
+		t.Errorf("axis = %v, want (9, 4, 0)", si.Axis)
+	}
+	// Projectile is centered on the shifted axis.
+	box := geom.Empty()
+	for n := si.Nodes[Projectile].Lo; n < si.Nodes[Projectile].Hi; n++ {
+		box = box.Extend(m.Coords[n])
+	}
+	cx := (box.Min[0] + box.Max[0]) / 2
+	cy := (box.Min[1] + box.Max[1]) / 2
+	if cx != si.Axis[0] || cy != si.Axis[1] {
+		t.Errorf("projectile center (%g,%g), axis %v", cx, cy, si.Axis)
+	}
+	// Off-plate offsets are rejected.
+	cfg.ImpactOffsetX = 100
+	if _, _, err := ProjectileScene(cfg); err == nil {
+		t.Error("accepted projectile off the plates")
+	}
+}

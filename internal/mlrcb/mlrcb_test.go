@@ -1,0 +1,163 @@
+package mlrcb
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+func testSnaps(t *testing.T, n int) []sim.Snapshot {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Scene.PlateNX, cfg.Scene.PlateNY, cfg.Scene.PlateNZ = 12, 12, 2
+	cfg.Scene.ProjN, cfg.Scene.ProjLen = 2, 6
+	cfg.Scene.ContactRadius = 4
+	cfg.Steps = 10 * n
+	cfg.Snapshots = n
+	snaps, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snaps
+}
+
+func TestDecomposeBasics(t *testing.T) {
+	snaps := testSnaps(t, 2)
+	m := snaps[0].Mesh
+	s, err := Decompose(m, Config{K: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FE partition balanced on node counts.
+	imb := metrics.LoadImbalance(s.Graph, s.MeshLabels, 8)
+	if imb[0] > 1.1 {
+		t.Errorf("FE imbalance %v", imb)
+	}
+	// RCB partition of contact points balanced on counts.
+	sizes := make([]int, 8)
+	for _, l := range s.ContactLabels {
+		sizes[l]++
+	}
+	n := len(s.ContactLabels)
+	for p, c := range sizes {
+		if c < n/8-8 || c > n/8+8 {
+			t.Errorf("RCB partition %d has %d of %d points", p, c, n)
+		}
+	}
+}
+
+func TestDecomposeRejectsBadK(t *testing.T) {
+	snaps := testSnaps(t, 2)
+	if _, err := Decompose(snaps[0].Mesh, Config{K: 0}); err == nil {
+		t.Error("accepted K=0")
+	}
+}
+
+func TestM2MCommBounds(t *testing.T) {
+	snaps := testSnaps(t, 2)
+	m := snaps[0].Mesh
+	s, err := Decompose(m, Config{K: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2m, err := s.M2MComm(s.MeshLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2m < 0 || m2m > len(s.ContactNodes) {
+		t.Fatalf("M2MComm = %d of %d contacts", m2m, len(s.ContactNodes))
+	}
+	// The two decompositions are genuinely decoupled, so a large
+	// fraction of contact points should disagree (the paper sees ~60%).
+	if m2m == 0 {
+		t.Error("M2MComm = 0: decompositions should differ")
+	}
+}
+
+func TestM2MCommPerfectWhenIdentical(t *testing.T) {
+	// If the FE labels of the contact nodes are exactly the RCB labels,
+	// M2MComm must be zero.
+	snaps := testSnaps(t, 2)
+	m := snaps[0].Mesh
+	s, err := Decompose(m, Config{K: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake := make([]int32, m.NumNodes())
+	for i, n := range s.ContactNodes {
+		fake[n] = s.ContactLabels[i]
+	}
+	m2m, err := s.M2MComm(fake)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2m != 0 {
+		t.Errorf("M2MComm = %d for identical labelings", m2m)
+	}
+}
+
+func TestUpdateTracksContactSet(t *testing.T) {
+	snaps := testSnaps(t, 4)
+	s, err := Decompose(snaps[0].Mesh, Config{K: 5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sn := range snaps[1:] {
+		s.Update(sn.Mesh)
+		if len(s.ContactLabels) != len(s.ContactNodes) {
+			t.Fatal("labels/nodes length mismatch after update")
+		}
+		want := len(sn.Mesh.ContactNodes())
+		if len(s.ContactNodes) != want {
+			t.Fatalf("update kept %d contacts, mesh has %d", len(s.ContactNodes), want)
+		}
+		// Counts stay balanced after the incremental update.
+		sizes := make([]int, 5)
+		for _, l := range s.ContactLabels {
+			sizes[l]++
+		}
+		n := len(s.ContactLabels)
+		for p, c := range sizes {
+			if c < n/5-6 || c > n/5+6 {
+				t.Errorf("after update partition %d has %d of %d", p, c, n)
+			}
+		}
+	}
+}
+
+func TestNRemotePositiveAndStable(t *testing.T) {
+	snaps := testSnaps(t, 2)
+	m := snaps[0].Mesh
+	s, err := Decompose(m, Config{K: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s.NRemote(m, 0.5)
+	b := s.NRemote(m, 0.5)
+	if a != b {
+		t.Errorf("NRemote not deterministic: %d vs %d", a, b)
+	}
+	if a < 0 {
+		t.Errorf("NRemote = %d", a)
+	}
+	// Larger tolerance can only increase candidate intersections.
+	big := s.NRemote(m, 2.0)
+	if big < a {
+		t.Errorf("NRemote with larger tol %d < %d", big, a)
+	}
+}
+
+func TestMeshLabelsCoverAllNodes(t *testing.T) {
+	snaps := testSnaps(t, 2)
+	m := snaps[0].Mesh
+	s, err := Decompose(m, Config{K: 3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.MeshLabels) != m.NumNodes() {
+		t.Fatalf("labels %d for %d nodes", len(s.MeshLabels), m.NumNodes())
+	}
+	_ = mesh.NodalGraphOptions{}
+}

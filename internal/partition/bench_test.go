@@ -1,0 +1,92 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkBisect(b *testing.B) {
+	g := grid(100, 100, 2)
+	opt := Options{K: 2}.withDefaults()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		bisect(g, 0.5, 0.03, opt, rng)
+	}
+}
+
+func BenchmarkPartitionRB(b *testing.B) {
+	g := grid(100, 100, 2)
+	for _, k := range []int{8, 32} {
+		b.Run(kname(k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Partition(g, Options{K: k, Seed: int64(i), Imbalance: 0.05}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPartitionDirect(b *testing.B) {
+	g := grid(100, 100, 2)
+	for _, k := range []int{8, 32} {
+		b.Run(kname(k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := PartitionDirect(g, Options{K: k, Seed: int64(i), Imbalance: 0.05}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRefineKWay(b *testing.B) {
+	g := grid(100, 100, 2)
+	base, err := Partition(g, Options{K: 16, Seed: 1, Imbalance: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		labels := append([]int32(nil), base...)
+		RefineKWay(g, labels, Options{K: 16, Seed: int64(i), Imbalance: 0.05})
+	}
+}
+
+func BenchmarkRepartition(b *testing.B) {
+	g := grid(100, 100, 2)
+	base, err := Partition(g, Options{K: 16, Seed: 1, Imbalance: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		labels := append([]int32(nil), base...)
+		// Perturb: clear one partition into another, then repartition.
+		for v := range labels {
+			if labels[v] == 7 {
+				labels[v] = 3
+			}
+		}
+		if _, err := Repartition(g, labels, RepartitionOptions{Options: Options{K: 16, Seed: int64(i), Imbalance: 0.05}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoarsen(b *testing.B) {
+	g := grid(100, 100, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		coarsen(g, 80, rng)
+	}
+}
+
+func kname(k int) string {
+	if k == 8 {
+		return "k8"
+	}
+	return "k32"
+}

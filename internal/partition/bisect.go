@@ -1,0 +1,301 @@
+package partition
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// bisection holds the working state of a 2-way partition of a graph
+// with target side fractions frac[0] + frac[1] = 1.
+type bisection struct {
+	g     *graph.Graph
+	where []int8
+	side  [2][]int64 // per-side, per-constraint weight
+	total []int64
+	frac  [2]float64
+	eps   float64
+	cut   int64
+	nside [2]int // vertex count per side
+	// slack[j] is the largest single vertex weight in constraint j:
+	// no bisection can balance better than one vertex of granularity,
+	// so feasibility allows the target fraction to be exceeded by
+	// (1+eps) *and* one vertex. At coarse multilevel rungs vertices
+	// are heavy and the slack is generous; it tightens automatically
+	// as uncoarsening proceeds.
+	slack []int64
+}
+
+func newBisection(g *graph.Graph, fracLeft, eps float64) *bisection {
+	b := &bisection{
+		g:     g,
+		where: make([]int8, g.NV()),
+		total: g.TotalWeights(),
+		frac:  [2]float64{fracLeft, 1 - fracLeft},
+		eps:   eps,
+	}
+	b.side[0] = make([]int64, g.NCon)
+	b.side[1] = make([]int64, g.NCon)
+	copy(b.side[0], b.total)
+	b.nside[0] = g.NV()
+	b.slack = make([]int64, g.NCon)
+	for v := 0; v < g.NV(); v++ {
+		w := g.Weights(v)
+		for j, wj := range w {
+			if int64(wj) > b.slack[j] {
+				b.slack[j] = int64(wj)
+			}
+		}
+	}
+	return b
+}
+
+// capOf returns the absolute feasibility cap of side s, constraint j.
+func (b *bisection) capOf(s, j int) float64 {
+	return (1+b.eps)*b.frac[s]*float64(b.total[j]) + float64(b.slack[j])
+}
+
+// reset puts every vertex back on side 0 with zero cut.
+func (b *bisection) reset() {
+	for v := range b.where {
+		b.where[v] = 0
+	}
+	copy(b.side[0], b.total)
+	for j := range b.side[1] {
+		b.side[1][j] = 0
+	}
+	b.nside[0], b.nside[1] = b.g.NV(), 0
+	b.cut = 0
+}
+
+// load returns side s's load for constraint j relative to its target
+// (1.0 = exactly on target; constraints with zero total are always 1).
+func (b *bisection) load(s, j int) float64 {
+	if b.total[j] == 0 {
+		return 1
+	}
+	return float64(b.side[s][j]) / (b.frac[s] * float64(b.total[j]))
+}
+
+// maxLoad returns the worst load over both sides and all constraints.
+func (b *bisection) maxLoad() float64 {
+	worst := 0.0
+	for s := 0; s < 2; s++ {
+		for j := 0; j < b.g.NCon; j++ {
+			if l := b.load(s, j); l > worst {
+				worst = l
+			}
+		}
+	}
+	return worst
+}
+
+// feasible reports whether the bisection satisfies every constraint
+// within (1+eps) plus one vertex of granularity slack, with neither
+// side empty (when the graph has at least two vertices).
+func (b *bisection) feasible() bool {
+	if b.g.NV() >= 2 && (b.nside[0] == 0 || b.nside[1] == 0) {
+		return false
+	}
+	for s := 0; s < 2; s++ {
+		for j := 0; j < b.g.NCon; j++ {
+			if b.total[j] == 0 {
+				continue
+			}
+			if float64(b.side[s][j]) > b.capOf(s, j) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// feasibleAfterMove reports whether moving v keeps the bisection
+// within the slackified caps.
+func (b *bisection) feasibleAfterMove(v int) bool {
+	s := b.where[v]
+	o := 1 - s
+	if b.g.NV() >= 2 && b.nside[s] == 1 {
+		return false // would empty side s
+	}
+	w := b.g.Weights(v)
+	for j := 0; j < b.g.NCon; j++ {
+		if b.total[j] == 0 {
+			continue
+		}
+		if float64(b.side[o][j]+int64(w[j])) > b.capOf(int(o), j) {
+			return false
+		}
+	}
+	return true
+}
+
+// gain returns the cut reduction of moving v to the other side.
+func (b *bisection) gain(v int) int64 {
+	adj := b.g.Neighbors(v)
+	wgt := b.g.EdgeWeights(v)
+	var ext, in int64
+	s := b.where[v]
+	for i, u := range adj {
+		if b.where[u] == s {
+			in += int64(wgt[i])
+		} else {
+			ext += int64(wgt[i])
+		}
+	}
+	return ext - in
+}
+
+// move flips v to the other side, maintaining weights and cut.
+func (b *bisection) move(v int) {
+	s := b.where[v]
+	o := 1 - s
+	w := b.g.Weights(v)
+	for j, wj := range w {
+		b.side[s][j] -= int64(wj)
+		b.side[o][j] += int64(wj)
+	}
+	b.cut -= b.gain(v) // gain computed before flip equals cut delta
+	b.nside[s]--
+	b.nside[o]++
+	b.where[v] = o
+}
+
+// overshoots reports whether moving v to side 1 would push some
+// already-satisfied constraint past (1+eps) of its side-1 target;
+// deficient constraints (per d) are exempt. Used by greedy growing.
+func (b *bisection) overshoots(v int, d []bool) bool {
+	w := b.g.Weights(v)
+	for j := 0; j < b.g.NCon; j++ {
+		if d[j] || b.total[j] == 0 || w[j] == 0 {
+			continue
+		}
+		after := float64(b.side[1][j]+int64(w[j])) / (b.frac[1] * float64(b.total[j]))
+		if after > 1+b.eps {
+			return true
+		}
+	}
+	return false
+}
+
+// maxLoadAfterMove returns what maxLoad would be if v moved.
+func (b *bisection) maxLoadAfterMove(v int) float64 {
+	s := b.where[v]
+	o := 1 - s
+	w := b.g.Weights(v)
+	worst := 0.0
+	for j := 0; j < b.g.NCon; j++ {
+		if b.total[j] == 0 {
+			continue
+		}
+		ls := float64(b.side[s][j]-int64(w[j])) / (b.frac[s] * float64(b.total[j]))
+		lo := float64(b.side[o][j]+int64(w[j])) / (b.frac[o] * float64(b.total[j]))
+		if ls > worst {
+			worst = ls
+		}
+		if lo > worst {
+			worst = lo
+		}
+	}
+	if worst == 0 {
+		worst = 1
+	}
+	return worst
+}
+
+// computeCut recomputes the cut from scratch (used after projection).
+func (b *bisection) computeCut() {
+	var cut int64
+	for v := 0; v < b.g.NV(); v++ {
+		adj := b.g.Neighbors(v)
+		wgt := b.g.EdgeWeights(v)
+		for i, u := range adj {
+			if int(u) > v && b.where[u] != b.where[v] {
+				cut += int64(wgt[i])
+			}
+		}
+	}
+	b.cut = cut
+}
+
+// bisect computes a multilevel 2-way partition of g with left-side
+// fraction fracLeft and per-constraint tolerance eps, returning the
+// side of every vertex and the edge cut.
+func bisect(g *graph.Graph, fracLeft, eps float64, opt Options, rng *rand.Rand) ([]int8, int64) {
+	if g.NV() == 0 {
+		return nil, 0
+	}
+	levels := coarsen(g, opt.CoarsenTo, rng)
+	coarsest := levels[len(levels)-1].g
+
+	// Initial partition at the coarsest level: several GGG trials.
+	best := newBisection(coarsest, fracLeft, eps)
+	bestScore := trialScore(best)
+	trial := newBisection(coarsest, fracLeft, eps)
+	for t := 0; t < opt.InitTrials; t++ {
+		trial.reset()
+		growBisection(trial, rng)
+		refineFM(trial, opt.RefineIters, rng)
+		if s := trialScore(trial); s.better(bestScore) {
+			bestScore = s
+			copy(best.where, trial.where)
+			copy(best.side[0], trial.side[0])
+			copy(best.side[1], trial.side[1])
+			best.cut = trial.cut
+		}
+	}
+
+	// Project back through the hierarchy, refining at each level.
+	where := best.where
+	for li := len(levels) - 2; li >= 0; li-- {
+		lv := levels[li]
+		fine := make([]int8, lv.g.NV())
+		for v := range fine {
+			fine[v] = where[lv.cmap[v]]
+		}
+		b := newBisection(lv.g, fracLeft, eps)
+		b.where = fine
+		for j := range b.side[0] {
+			b.side[0][j], b.side[1][j] = 0, 0
+		}
+		b.nside[0], b.nside[1] = 0, 0
+		for v := 0; v < lv.g.NV(); v++ {
+			w := lv.g.Weights(v)
+			for j, wj := range w {
+				b.side[fine[v]][j] += int64(wj)
+			}
+			b.nside[fine[v]]++
+		}
+		b.computeCut()
+		refineFM(b, opt.RefineIters, rng)
+		where = b.where
+	}
+
+	// Recompute final cut on the original graph.
+	fb := newBisection(g, fracLeft, eps)
+	fb.where = where
+	fb.computeCut()
+	return where, fb.cut
+}
+
+// trialScore ranks candidate bisections: feasibility first, then
+// balance, then cut.
+type score struct {
+	feasible bool
+	maxLoad  float64
+	cut      int64
+}
+
+func trialScore(b *bisection) score {
+	return score{feasible: b.feasible(), maxLoad: b.maxLoad(), cut: b.cut}
+}
+
+func (s score) better(o score) bool {
+	if s.feasible != o.feasible {
+		return s.feasible
+	}
+	if s.feasible {
+		return s.cut < o.cut || (s.cut == o.cut && s.maxLoad < o.maxLoad)
+	}
+	return s.maxLoad < o.maxLoad
+}

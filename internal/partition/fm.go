@@ -1,0 +1,126 @@
+package partition
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// refineFM runs up to iters passes of Fiduccia–Mattheyses boundary
+// refinement with multi-constraint balance on the bisection: each pass
+// tentatively moves vertices in best-gain-first order (negative-gain
+// moves allowed for hill climbing), then rolls back to the best prefix
+// seen. Moves are admitted only if they keep maxLoad within (1+eps) or
+// strictly improve it, so the pass doubles as a balancer when the
+// projected partition is overweight.
+func refineFM(b *bisection, iters int, rng *rand.Rand) {
+	for it := 0; it < iters; it++ {
+		if !fmPass(b, rng) {
+			return
+		}
+	}
+}
+
+// gainItem is a heap entry; stale entries (key != current gain) are
+// re-pushed on pop.
+type gainItem struct {
+	v    int32
+	gain int64
+}
+
+type gainHeap []gainItem
+
+func (h gainHeap) Len() int            { return len(h) }
+func (h gainHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
+func (h gainHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(x interface{}) { *h = append(*h, x.(gainItem)) }
+func (h *gainHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// maxBadMoves bounds the hill-climbing tail of an FM pass.
+const maxBadMoves = 120
+
+// fmPass runs one pass and reports whether it changed the partition.
+func fmPass(b *bisection, rng *rand.Rand) bool {
+	n := b.g.NV()
+	moved := make([]bool, n)
+	inHeap := make([]bool, n)
+	h := make(gainHeap, 0, 256)
+
+	push := func(v int) {
+		if !moved[v] && !inHeap[v] {
+			inHeap[v] = true
+			heap.Push(&h, gainItem{v: int32(v), gain: b.gain(v)})
+		}
+	}
+
+	// Seed with the boundary vertices (random order for tie diversity).
+	for _, v := range rng.Perm(n) {
+		adj := b.g.Neighbors(v)
+		for _, u := range adj {
+			if b.where[u] != b.where[v] {
+				push(v)
+				break
+			}
+		}
+	}
+	if !b.feasible() {
+		// An infeasible bisection may have every misplaced vertex in
+		// the interior (e.g. one side holding a whole weight class),
+		// where boundary seeding never reaches it. Seed everything so
+		// balance-restoring moves are reachable.
+		for v := 0; v < n; v++ {
+			push(v)
+		}
+	}
+
+	var trail []int32 // moved vertices, in order
+	bestAt := 0
+	bestScore := trialScore(b)
+	changed := false
+	bad := 0
+
+	for len(h) > 0 && bad < maxBadMoves {
+		it := heap.Pop(&h).(gainItem)
+		v := int(it.v)
+		inHeap[v] = false
+		if moved[v] {
+			continue
+		}
+		if g := b.gain(v); g != it.gain {
+			// Stale key: reinsert with the fresh gain.
+			inHeap[v] = true
+			heap.Push(&h, gainItem{v: it.v, gain: g})
+			continue
+		}
+		// Balance admission: the move must land within the slackified
+		// caps, or at least strictly improve the worst load.
+		if !b.feasibleAfterMove(v) && b.maxLoadAfterMove(v) >= b.maxLoad() {
+			continue
+		}
+		b.move(v)
+		moved[v] = true
+		changed = true
+		trail = append(trail, it.v)
+		for _, u := range b.g.Neighbors(v) {
+			push(int(u))
+		}
+		if s := trialScore(b); s.better(bestScore) {
+			bestScore = s
+			bestAt = len(trail)
+			bad = 0
+		} else {
+			bad++
+		}
+	}
+
+	// Roll back past the best prefix.
+	for i := len(trail) - 1; i >= bestAt; i-- {
+		b.move(int(trail[i]))
+	}
+	return changed && bestAt > 0
+}

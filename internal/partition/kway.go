@@ -1,0 +1,87 @@
+package partition
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Partition computes a k-way multi-constraint partitioning of g by
+// multilevel recursive bisection followed by a direct k-way
+// refinement/balancing pass. The returned labels are in [0, opt.K).
+// Results are deterministic for a fixed Options.Seed.
+func Partition(g *graph.Graph, opt Options) ([]int32, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults()
+	labels := make([]int32, g.NV())
+	if opt.K == 1 || g.NV() == 0 {
+		return labels, nil
+	}
+
+	ids := make([]int32, g.NV())
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	// Per-bisection tolerance is tighter than the final one; the k-way
+	// polish restores anything recursive splitting leaves off.
+	epsBis := opt.Imbalance / 2
+	if epsBis < 0.015 {
+		epsBis = 0.015
+	}
+	var wg sync.WaitGroup
+	rb(g, ids, opt.K, 0, labels, epsBis, opt, opt.Seed, &wg)
+	wg.Wait()
+
+	RefineKWay(g, labels, opt)
+	return labels, nil
+}
+
+// parallelRBCutoff is the subgraph size above which the two recursive
+// bisection branches run concurrently.
+const parallelRBCutoff = 1 << 14
+
+// rb recursively bisects the subgraph sub (whose vertex i is original
+// vertex ids[i]) into k parts labeled base..base+k-1.
+func rb(sub *graph.Graph, ids []int32, k, base int, labels []int32, eps float64, opt Options, seed int64, wg *sync.WaitGroup) {
+	if k == 1 {
+		for _, v := range ids {
+			labels[v] = int32(base)
+		}
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+	kL := (k + 1) / 2
+	fracL := float64(kL) / float64(k)
+	where, _ := bisect(sub, fracL, eps, opt, rng)
+
+	var leftIDs, rightIDs []int32
+	var leftLocal, rightLocal []int32
+	for v, s := range where {
+		if s == 0 {
+			leftIDs = append(leftIDs, ids[v])
+			leftLocal = append(leftLocal, int32(v))
+		} else {
+			rightIDs = append(rightIDs, ids[v])
+			rightLocal = append(rightLocal, int32(v))
+		}
+	}
+	left := sub.Induce(leftLocal)
+	right := sub.Induce(rightLocal)
+
+	leftSeed := seed*1000003 + 1
+	rightSeed := seed*1000003 + 2
+	if sub.NV() >= parallelRBCutoff {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rb(left, leftIDs, kL, base, labels, eps, opt, leftSeed, wg)
+		}()
+		rb(right, rightIDs, k-kL, base+kL, labels, eps, opt, rightSeed, wg)
+		return
+	}
+	rb(left, leftIDs, kL, base, labels, eps, opt, leftSeed, wg)
+	rb(right, rightIDs, k-kL, base+kL, labels, eps, opt, rightSeed, wg)
+}

@@ -1,0 +1,314 @@
+package partition
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// kwayState tracks a k-way partition's per-partition weight vectors.
+type kwayState struct {
+	g      *graph.Graph
+	labels []int32
+	k      int
+	pw     [][]int64 // pw[p][j]
+	cnt    []int     // vertices per partition
+	total  []int64
+	caps   []int64 // per-constraint cap (1+eps)*total/k
+	avg    []float64
+}
+
+func newKwayState(g *graph.Graph, labels []int32, k int, eps float64) *kwayState {
+	s := &kwayState{g: g, labels: labels, k: k, total: g.TotalWeights()}
+	s.pw = make([][]int64, k)
+	for p := range s.pw {
+		s.pw[p] = make([]int64, g.NCon)
+	}
+	s.cnt = make([]int, k)
+	for v := 0; v < g.NV(); v++ {
+		w := g.Weights(v)
+		for j, wj := range w {
+			s.pw[labels[v]][j] += int64(wj)
+		}
+		s.cnt[labels[v]]++
+	}
+	s.caps = make([]int64, g.NCon)
+	s.avg = make([]float64, g.NCon)
+	for j := range s.caps {
+		s.avg[j] = float64(s.total[j]) / float64(k)
+		s.caps[j] = int64((1 + eps) * s.avg[j])
+		// The cap must be at least ceil(avg): with caps below the
+		// average, balance is pigeonhole-infeasible and the balancer
+		// would churn forever chasing it.
+		if ceil := (s.total[j] + int64(k) - 1) / int64(k); s.caps[j] < ceil {
+			s.caps[j] = ceil
+		}
+		if s.caps[j] < 1 {
+			s.caps[j] = 1
+		}
+	}
+	return s
+}
+
+// loadOf returns partition p's worst relative load.
+func (s *kwayState) loadOf(p int) float64 {
+	worst := 0.0
+	for j := 0; j < s.g.NCon; j++ {
+		if s.total[j] == 0 {
+			continue
+		}
+		if l := float64(s.pw[p][j]) / s.avg[j]; l > worst {
+			worst = l
+		}
+	}
+	return worst
+}
+
+// fits reports whether adding v to partition p keeps p under its caps
+// without emptying v's current partition.
+func (s *kwayState) fits(v, p int) bool {
+	if s.cnt[s.labels[v]] <= 1 {
+		return false
+	}
+	w := s.g.Weights(v)
+	for j, wj := range w {
+		if s.total[j] == 0 {
+			continue
+		}
+		if s.pw[p][j]+int64(wj) > s.caps[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// move reassigns v to partition p.
+func (s *kwayState) move(v, p int) {
+	old := s.labels[v]
+	w := s.g.Weights(v)
+	for j, wj := range w {
+		s.pw[old][j] -= int64(wj)
+		s.pw[p][j] += int64(wj)
+	}
+	s.cnt[old]--
+	s.cnt[p]++
+	s.labels[v] = int32(p)
+}
+
+// RefineKWay improves a given k-way partition in place: greedy
+// boundary passes that move vertices to the adjacent partition with
+// the largest edge-cut gain subject to the (1+eps) caps, followed by
+// an explicit balancing sweep for any partition still over its cap.
+// It is used as the final polish after recursive bisection and as the
+// multi-constraint k-way refinement of the collapsed region graph G'
+// in Section 4.2 (where it must repair the balance the majority
+// reassignment P -> P' destroyed).
+func RefineKWay(g *graph.Graph, labels []int32, opt Options) {
+	opt = opt.withDefaults()
+	if opt.K <= 1 || g.NV() == 0 {
+		return
+	}
+	s := newKwayState(g, labels, opt.K, opt.Imbalance)
+	rng := rand.New(rand.NewSource(opt.Seed + 7919))
+
+	for it := 0; it < opt.RefineIters; it++ {
+		if s.greedyPass(rng) == 0 {
+			break
+		}
+	}
+	s.balance(rng)
+	// Balance moves can open new gain opportunities; one more pass of
+	// each keeps quality without looping forever.
+	s.greedyPass(rng)
+	s.balance(rng)
+}
+
+// greedyPass sweeps all vertices once in random order, applying
+// positive-gain (or balance-improving zero-gain) moves. Returns the
+// number of moves applied.
+func (s *kwayState) greedyPass(rng *rand.Rand) int {
+	moves := 0
+	// Scratch: connectivity of the current vertex to each partition.
+	conn := make([]int64, s.k)
+	touched := make([]int32, 0, 16)
+	for _, v := range rng.Perm(s.g.NV()) {
+		adj := s.g.Neighbors(v)
+		wgt := s.g.EdgeWeights(v)
+		own := s.labels[v]
+		boundary := false
+		for i, u := range adj {
+			p := s.labels[u]
+			if conn[p] == 0 {
+				touched = append(touched, p)
+			}
+			conn[p] += int64(wgt[i])
+			if p != own {
+				boundary = true
+			}
+		}
+		if boundary {
+			ownConn := conn[own]
+			bestP, bestGain := -1, int64(0)
+			for _, p := range touched {
+				if p == own {
+					continue
+				}
+				gain := conn[p] - ownConn
+				if gain > bestGain || (gain == bestGain && bestP >= 0 && conn[p] > conn[bestP]) {
+					if s.fits(v, int(p)) {
+						bestP, bestGain = int(p), gain
+					}
+				} else if gain == 0 && bestP < 0 && s.fits(v, int(p)) &&
+					s.loadOf(int(p)) < s.loadOf(int(own))-1e-9 {
+					// Zero-gain move that improves balance.
+					bestP = int(p)
+				}
+			}
+			if bestP >= 0 && (bestGain > 0 || s.loadOf(bestP) < s.loadOf(int(own))) {
+				s.move(v, bestP)
+				moves++
+			}
+		}
+		for _, p := range touched {
+			conn[p] = 0
+		}
+		touched = touched[:0]
+	}
+	return moves
+}
+
+// balance drains overweight partitions: while some partition exceeds a
+// cap, move its cheapest boundary vertex to a partition with room,
+// preferring adjacent partitions (smallest cut damage) but accepting
+// any partition with room when the overweight one has no suitable
+// neighbor (the region graph G' can be very coarse). Gives up after
+// a bounded number of moves so pathological instances terminate.
+func (s *kwayState) balance(rng *rand.Rand) {
+	maxMoves := 4*s.g.NV() + 64
+	conn := make([]int64, s.k)
+	touched := make([]int32, 0, 16)
+
+	for iter := 0; iter < maxMoves; iter++ {
+		// Find the most overloaded (partition, constraint).
+		worstP, worstLoad := -1, 1.0
+		for p := 0; p < s.k; p++ {
+			for j := 0; j < s.g.NCon; j++ {
+				if s.total[j] == 0 || s.pw[p][j] <= s.caps[j] {
+					continue
+				}
+				if l := float64(s.pw[p][j]) / s.avg[j]; l > worstLoad {
+					worstP, worstLoad = p, l
+				}
+			}
+		}
+		if worstP < 0 {
+			return // balanced
+		}
+
+		// Choose the move out of worstP with the least cut damage.
+		bestV, bestTo := -1, -1
+		var bestCost int64 = 1 << 62
+		for _, v := range rng.Perm(s.g.NV()) {
+			if int(s.labels[v]) != worstP {
+				continue
+			}
+			adj := s.g.Neighbors(v)
+			wgt := s.g.EdgeWeights(v)
+			for i, u := range adj {
+				p := s.labels[u]
+				if conn[p] == 0 {
+					touched = append(touched, p)
+				}
+				conn[p] += int64(wgt[i])
+			}
+			for _, p := range touched {
+				if int(p) != worstP && s.fits(v, int(p)) {
+					cost := conn[s.labels[v]] - conn[p]
+					if cost < bestCost {
+						bestV, bestTo, bestCost = v, int(p), cost
+					}
+				}
+			}
+			for _, p := range touched {
+				conn[p] = 0
+			}
+			touched = touched[:0]
+			if bestV >= 0 && bestCost <= 0 {
+				break // free (or profitable) balance move
+			}
+		}
+		if bestV < 0 {
+			// No adjacent partition has room: teleport the lightest
+			// vertex of worstP to the globally least loaded partition.
+			toP, toLoad := -1, 1e18
+			for p := 0; p < s.k; p++ {
+				if p == worstP {
+					continue
+				}
+				if l := s.loadOf(p); l < toLoad {
+					toP, toLoad = p, l
+				}
+			}
+			if toP < 0 {
+				return
+			}
+			for v := 0; v < s.g.NV(); v++ {
+				if int(s.labels[v]) == worstP && s.fits(v, toP) {
+					bestV, bestTo = v, toP
+					break
+				}
+			}
+			if bestV < 0 {
+				return // nothing fits anywhere; give up
+			}
+		}
+		s.move(bestV, bestTo)
+	}
+}
+
+// EdgeCut returns the total weight of edges cut by labels.
+func EdgeCut(g *graph.Graph, labels []int32) int64 {
+	var cut int64
+	for v := 0; v < g.NV(); v++ {
+		adj := g.Neighbors(v)
+		wgt := g.EdgeWeights(v)
+		for i, u := range adj {
+			if int(u) > v && labels[u] != labels[v] {
+				cut += int64(wgt[i])
+			}
+		}
+	}
+	return cut
+}
+
+// LoadImbalances returns, per constraint, the ratio of the heaviest
+// partition weight to the average (the paper's LoadImbalance(P, j)).
+func LoadImbalances(g *graph.Graph, labels []int32, k int) []float64 {
+	pw := make([][]int64, k)
+	for p := range pw {
+		pw[p] = make([]int64, g.NCon)
+	}
+	for v := 0; v < g.NV(); v++ {
+		w := g.Weights(v)
+		for j, wj := range w {
+			pw[labels[v]][j] += int64(wj)
+		}
+	}
+	total := g.TotalWeights()
+	out := make([]float64, g.NCon)
+	for j := 0; j < g.NCon; j++ {
+		if total[j] == 0 {
+			out[j] = 1
+			continue
+		}
+		avg := float64(total[j]) / float64(k)
+		var worst int64
+		for p := 0; p < k; p++ {
+			if pw[p][j] > worst {
+				worst = pw[p][j]
+			}
+		}
+		out[j] = float64(worst) / avg
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+// Package partition implements the multilevel multi-constraint graph
+// partitioner that MCML+DT builds on (the METIS/ParMETIS algorithm
+// family of Karypis & Kumar): heavy-edge-matching coarsening, greedy
+// graph-growing multi-constraint initial bisection, Fiduccia–Mattheyses
+// boundary refinement with vector balance constraints, k-way
+// partitioning by recursive bisection, and a direct multi-constraint
+// k-way refinement/balancing pass used both as a final polish and to
+// refine partitions of the collapsed region graph G' (Section 4.2).
+//
+// Vertices carry a vector of NCon weights; a k-way partitioning is
+// balanced when for every weight component j,
+//
+//	max_i w_j(V_i) <= (1+eps) * w_j(V)/k.
+package partition
+
+import "fmt"
+
+// Options configures Partition and RefineKWay.
+type Options struct {
+	// K is the number of partitions.
+	K int
+	// Imbalance is the allowed per-constraint load imbalance epsilon
+	// (0.05 = 5%). Values below 0.01 are clamped to 0.01.
+	Imbalance float64
+	// Seed makes runs deterministic; equal seeds give equal partitions.
+	Seed int64
+	// CoarsenTo stops multilevel coarsening when the graph has at most
+	// this many vertices (default 80).
+	CoarsenTo int
+	// InitTrials is the number of greedy-graph-growing initial
+	// bisections tried at the coarsest level (default 8).
+	InitTrials int
+	// RefineIters bounds the FM passes per uncoarsening level
+	// (default 8).
+	RefineIters int
+}
+
+// withDefaults returns opt with zero fields replaced by defaults.
+func (opt Options) withDefaults() Options {
+	if opt.Imbalance < 0.01 {
+		opt.Imbalance = 0.01
+	}
+	if opt.CoarsenTo <= 0 {
+		opt.CoarsenTo = 80
+	}
+	if opt.InitTrials <= 0 {
+		opt.InitTrials = 8
+	}
+	if opt.RefineIters <= 0 {
+		opt.RefineIters = 8
+	}
+	return opt
+}
+
+func (opt Options) validate() error {
+	if opt.K < 1 {
+		return fmt.Errorf("partition: K = %d, want >= 1", opt.K)
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package partition
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// RepartitionOptions configures Repartition.
+type RepartitionOptions struct {
+	Options
+	// ITR is the relative cost of migrating one unit of vertex weight
+	// versus one unit of edge cut (the ParMETIS "itr" knob). Higher
+	// values make the repartitioner keep more vertices in place.
+	// Default 1000.
+	ITR float64
+}
+
+// Repartition adapts an existing k-way partitioning to a (possibly
+// rebalanced or re-weighted) graph, the multi-constraint repartitioning
+// problem of Section 2: restore LoadImbalance(P, j) <= 1+eps for every
+// constraint and keep the edge cut low, while maximizing the number of
+// vertices that keep their old partition (minimizing migration).
+//
+// The algorithm follows the diffusion family of Schloegel, Karypis &
+// Kumar [32, 33]: start from the old labels, drain overweight
+// partitions along partition-adjacency paths choosing the moves with
+// the best (cut-damage, migration) cost, then run cut refinement whose
+// moves pay a migration penalty of weight/ITR so that low-gain churn
+// is suppressed. labels is modified in place; the returned count is
+// the number of vertices that changed partition.
+func Repartition(g *graph.Graph, labels []int32, opt RepartitionOptions) (migrated int, err error) {
+	if err := opt.validate(); err != nil {
+		return 0, err
+	}
+	o := opt.Options.withDefaults()
+	if opt.ITR <= 0 {
+		opt.ITR = 1000
+	}
+	if o.K <= 1 || g.NV() == 0 {
+		return 0, nil
+	}
+	old := append([]int32(nil), labels...)
+
+	s := newKwayState(g, labels, o.K, o.Imbalance)
+	rng := rand.New(rand.NewSource(o.Seed + 104729))
+
+	// Phase 1: balance restoration (diffusion). The kwayState balancer
+	// already picks minimum-cut-damage drains from the most overloaded
+	// partition; reuse it.
+	s.balance(rng)
+
+	// Phase 2: migration-aware refinement. Like greedyPass, but a move
+	// away from the vertex's *original* partition must overcome the
+	// migration penalty, and a move back home gets it as a bonus.
+	penalty := int64(1)
+	if opt.ITR > 0 {
+		// Express the penalty in edge-weight units: average edge
+		// weight divided by ITR, at least 1 for small ITR.
+		avg := float64(g.TotalEdgeWeight()) / float64(maxInt(g.NE(), 1))
+		penalty = int64(avg/opt.ITR + 1)
+	}
+	for it := 0; it < o.RefineIters; it++ {
+		if s.migrationAwarePass(rng, old, penalty) == 0 {
+			break
+		}
+	}
+	s.balance(rng)
+
+	for v := range labels {
+		if labels[v] != old[v] {
+			migrated++
+		}
+	}
+	return migrated, nil
+}
+
+// migrationAwarePass is greedyPass with a migration cost: moving v to
+// a partition other than old[v] costs extra, moving it home refunds.
+func (s *kwayState) migrationAwarePass(rng *rand.Rand, old []int32, penalty int64) int {
+	moves := 0
+	conn := make([]int64, s.k)
+	touched := make([]int32, 0, 16)
+	for _, v := range rng.Perm(s.g.NV()) {
+		adj := s.g.Neighbors(v)
+		wgt := s.g.EdgeWeights(v)
+		own := s.labels[v]
+		boundary := false
+		for i, u := range adj {
+			p := s.labels[u]
+			if conn[p] == 0 {
+				touched = append(touched, p)
+			}
+			conn[p] += int64(wgt[i])
+			if p != own {
+				boundary = true
+			}
+		}
+		if boundary {
+			ownConn := conn[own]
+			bestP := -1
+			var bestScore int64
+			for _, p := range touched {
+				if p == own {
+					continue
+				}
+				score := conn[p] - ownConn
+				// Migration economics relative to the original home.
+				if own == old[v] && p != old[v] {
+					score -= penalty // leaving home
+				} else if own != old[v] && p == old[v] {
+					score += penalty // returning home
+				}
+				if score > bestScore && s.fits(v, int(p)) {
+					bestP, bestScore = int(p), score
+				}
+			}
+			if bestP >= 0 {
+				s.move(v, bestP)
+				moves++
+			}
+		}
+		for _, p := range touched {
+			conn[p] = 0
+		}
+		touched = touched[:0]
+	}
+	return moves
+}
+
+// Overlap returns the number of vertices whose labels agree between
+// two labelings (the repartitioning objective of Section 2).
+func Overlap(a, b []int32) int {
+	n := 0
+	for i := range a {
+		if a[i] == b[i] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,146 @@
+package rcb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// mcScene builds points where the second weight is concentrated in a
+// horizontal band (like contact nodes on a plate face).
+func mcScene(r *rand.Rand, n int) ([]geom.Point, []int32) {
+	pts := make([]geom.Point, n)
+	wgts := make([]int32, 2*n)
+	for i := range pts {
+		pts[i] = geom.P2(r.Float64()*10, r.Float64()*10)
+		wgts[2*i] = 1
+		if pts[i][1] < 2 {
+			wgts[2*i+1] = 1
+		}
+	}
+	return pts, wgts
+}
+
+func TestBuildMCBalancesBothConstraints(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	pts, wgts := mcScene(r, 2000)
+	for _, k := range []int{4, 8, 16} {
+		_, labels, err := BuildMC(pts, wgts, 2, 2, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tot0, tot1 int64
+		p0 := make([]int64, k)
+		p1 := make([]int64, k)
+		for i := range pts {
+			p0[labels[i]] += int64(wgts[2*i])
+			p1[labels[i]] += int64(wgts[2*i+1])
+			tot0 += int64(wgts[2*i])
+			tot1 += int64(wgts[2*i+1])
+		}
+		// A one-shot geometric bisection has no refinement pass, so
+		// deviations compound with depth; anything far from the ~7x
+		// blowup of balance-blind dimension choice is acceptable.
+		for p := 0; p < k; p++ {
+			if f := float64(p0[p]) * float64(k) / float64(tot0); f > 1.4 {
+				t.Errorf("k=%d: constraint 0 load %f at partition %d", k, f, p)
+			}
+			if f := float64(p1[p]) * float64(k) / float64(tot1); f > 1.5 {
+				t.Errorf("k=%d: constraint 1 load %f at partition %d", k, f, p)
+			}
+		}
+	}
+}
+
+func TestBuildMCValidation(t *testing.T) {
+	pts := []geom.Point{geom.P2(0, 0)}
+	if _, _, err := BuildMC(pts, []int32{1}, 1, 5, 2); err == nil {
+		t.Error("accepted dim=5")
+	}
+	if _, _, err := BuildMC(pts, []int32{1}, 1, 2, 0); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, _, err := BuildMC(pts, []int32{1, 2, 3}, 2, 2, 2); err == nil {
+		t.Error("accepted weight length mismatch")
+	}
+	if _, _, err := BuildMC(pts, nil, 0, 2, 1); err == nil {
+		t.Error("accepted ncon=0")
+	}
+}
+
+func TestBuildMCMatchesPlainRCBForUnitWeights(t *testing.T) {
+	// With a single unit weight, BuildMC is plain RCB up to the choice
+	// of split index (count median) — partition sizes must match.
+	r := rand.New(rand.NewSource(2))
+	pts := make([]geom.Point, 500)
+	wgts := make([]int32, 500)
+	for i := range pts {
+		pts[i] = geom.P2(r.Float64()*10, r.Float64()*10)
+		wgts[i] = 1
+	}
+	_, l1, err := Build(pts, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, l2, err := BuildMC(pts, wgts, 1, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := sizes(l1, 8), sizes(l2, 8)
+	for p := range s1 {
+		if s1[p] != s2[p] {
+			t.Fatalf("sizes differ: %v vs %v", s1, s2)
+		}
+	}
+}
+
+func TestBuildMCRegionsAreBoxes(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pts, wgts := mcScene(r, 600)
+	tree, labels, err := BuildMC(pts, wgts, 2, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := tree.Regions(geom.BoxOf(pts))
+	for i, p := range pts {
+		if !regs[labels[i]].Contains(p, 2) {
+			t.Fatalf("point %d outside its region box", i)
+		}
+	}
+}
+
+// Property: labels valid, all points covered, tree PartOf agrees.
+func TestQuickBuildMCInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 10 + r.Intn(300)
+		k := 1 + r.Intn(10)
+		ncon := 1 + r.Intn(3)
+		pts := make([]geom.Point, n)
+		wgts := make([]int32, n*ncon)
+		for i := range pts {
+			pts[i] = geom.P3(r.Float64()*10, r.Float64()*10, r.Float64()*10)
+			for j := 0; j < ncon; j++ {
+				wgts[i*ncon+j] = int32(r.Intn(3))
+			}
+		}
+		tree, labels, err := BuildMC(pts, wgts, ncon, 3, k)
+		if err != nil {
+			return false
+		}
+		for i, p := range pts {
+			if labels[i] < 0 || int(labels[i]) >= k {
+				return false
+			}
+			if tree.PartOf(p) != labels[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,212 @@
+// Package rcb implements recursive coordinate bisection of point sets,
+// the geometric partitioner that the ML+RCB baseline (Plimpton et al.;
+// Brown et al.) uses for the contact-search phase. A Tree retains the
+// cut structure so successive time steps can be repartitioned
+// *incrementally*: the cut planes shift to rebalance the moved points
+// while the recursion structure (cut dimensions and subtree processor
+// counts) stays fixed, which keeps the number of points that migrate
+// between partitions small — exactly the repartitioning strategy the
+// paper's UpdComm metric measures.
+package rcb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// node is one bisection in the cut tree.
+type node struct {
+	dim         int     // cut dimension
+	cut         float64 // points with coord <= cut go left
+	kLeft       int     // partitions assigned to the left subtree
+	left, right *node
+	part        int32 // leaf: partition id (when left == nil)
+}
+
+// Tree is a k-way RCB decomposition of a point set. Build creates it;
+// Update re-fits the cuts to a new point set of the same k.
+type Tree struct {
+	Dim  int
+	K    int
+	root *node
+}
+
+// Build computes a k-way recursive coordinate bisection of pts in dim
+// dimensions and returns the tree together with the partition label of
+// every point. Partition sizes differ by at most 1 after every level
+// of proportional splitting. k must be >= 1; pts may be empty.
+func Build(pts []geom.Point, dim, k int) (*Tree, []int32, error) {
+	if dim != 2 && dim != 3 {
+		return nil, nil, fmt.Errorf("rcb: dim = %d", dim)
+	}
+	if k < 1 {
+		return nil, nil, fmt.Errorf("rcb: k = %d", k)
+	}
+	t := &Tree{Dim: dim, K: k}
+	labels := make([]int32, len(pts))
+	idx := make([]int32, len(pts))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	t.root = build(pts, idx, labels, dim, 0, k)
+	return t, labels, nil
+}
+
+// build recursively bisects idx (point indices) into k partitions whose
+// ids start at base.
+func build(pts []geom.Point, idx []int32, labels []int32, dim, base, k int) *node {
+	if k == 1 {
+		for _, i := range idx {
+			labels[i] = int32(base)
+		}
+		return &node{part: int32(base)}
+	}
+	kL := (k + 1) / 2
+	nL := len(idx) * kL / k
+
+	d := splitDim(pts, idx, dim)
+	sortAlong(pts, idx, d)
+
+	cut := cutBetween(pts, idx, d, nL)
+	n := &node{dim: d, cut: cut, kLeft: kL}
+	n.left = build(pts, idx[:nL], labels, dim, base, kL)
+	n.right = build(pts, idx[nL:], labels, dim, base+kL, k-kL)
+	return n
+}
+
+// splitDim picks the dimension with the largest coordinate spread of
+// the current subset (the classic RCB heuristic).
+func splitDim(pts []geom.Point, idx []int32, dim int) int {
+	b := geom.Empty()
+	for _, i := range idx {
+		b = b.Extend(pts[i])
+	}
+	if len(idx) == 0 {
+		return 0
+	}
+	return b.LongestDim(dim)
+}
+
+// sortAlong orders idx by coordinate d, breaking ties by point index so
+// results are deterministic.
+func sortAlong(pts []geom.Point, idx []int32, d int) {
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := pts[idx[a]][d], pts[idx[b]][d]
+		if pa != pb {
+			return pa < pb
+		}
+		return idx[a] < idx[b]
+	})
+}
+
+// cutBetween returns the cut coordinate separating the first nL sorted
+// points from the rest: the midpoint between the bracketing
+// coordinates (or the shared coordinate when they tie).
+func cutBetween(pts []geom.Point, idx []int32, d, nL int) float64 {
+	switch {
+	case len(idx) == 0:
+		return 0
+	case nL <= 0:
+		return pts[idx[0]][d]
+	case nL >= len(idx):
+		return pts[idx[len(idx)-1]][d]
+	}
+	lo, hi := pts[idx[nL-1]][d], pts[idx[nL]][d]
+	return (lo + hi) / 2
+}
+
+// Update re-fits the tree's cut positions to a new point set (same k,
+// possibly different size): each node keeps its cut dimension and
+// processor split but re-selects the median so the proportional counts
+// stay exact. Returns the new labels.
+func (t *Tree) Update(pts []geom.Point) []int32 {
+	labels := make([]int32, len(pts))
+	idx := make([]int32, len(pts))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	update(t.root, pts, idx, labels, t.K)
+	return labels
+}
+
+func update(n *node, pts []geom.Point, idx []int32, labels []int32, k int) {
+	if n.left == nil {
+		for _, i := range idx {
+			labels[i] = n.part
+		}
+		return
+	}
+	nL := len(idx) * n.kLeft / k
+	sortAlong(pts, idx, n.dim)
+	n.cut = cutBetween(pts, idx, n.dim, nL)
+	update(n.left, pts, idx[:nL], labels, n.kLeft)
+	update(n.right, pts, idx[nL:], labels, k-n.kLeft)
+}
+
+// PartOf locates the partition whose region contains p (ties on a cut
+// plane go left, matching the <= convention used when building).
+func (t *Tree) PartOf(p geom.Point) int32 {
+	n := t.root
+	for n.left != nil {
+		if p[n.dim] <= n.cut {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.part
+}
+
+// Depth returns the height of the cut tree (1 for k=1).
+func (t *Tree) Depth() int { return depth(t.root) }
+
+func depth(n *node) int {
+	if n == nil {
+		return 0
+	}
+	if n.left == nil {
+		return 1
+	}
+	l, r := depth(n.left), depth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// Regions returns the axis-aligned region of every partition implied by
+// the cut tree, clipped to the given root box. Regions partition the
+// root box (they are disjoint up to shared faces).
+func (t *Tree) Regions(root geom.AABB) []geom.AABB {
+	out := make([]geom.AABB, t.K)
+	var walk func(n *node, b geom.AABB)
+	walk = func(n *node, b geom.AABB) {
+		if n.left == nil {
+			out[n.part] = b
+			return
+		}
+		lb, rb := b, b
+		lb.Max[n.dim] = n.cut
+		rb.Min[n.dim] = n.cut
+		walk(n.left, lb)
+		walk(n.right, rb)
+	}
+	walk(t.root, root)
+	return out
+}
+
+// SubdomainBoxes returns the tight bounding box of each partition's
+// points (Empty() for partitions with no points) — the geometric
+// descriptors the ML+RCB global search broadcasts.
+func SubdomainBoxes(pts []geom.Point, labels []int32, k int) []geom.AABB {
+	boxes := make([]geom.AABB, k)
+	for i := range boxes {
+		boxes[i] = geom.Empty()
+	}
+	for i, p := range pts {
+		boxes[labels[i]] = boxes[labels[i]].Extend(p)
+	}
+	return boxes
+}

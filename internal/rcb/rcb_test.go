@@ -1,0 +1,287 @@
+package rcb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func randPoints(r *rand.Rand, n, dim int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i][0] = r.Float64() * 10
+		pts[i][1] = r.Float64() * 10
+		if dim == 3 {
+			pts[i][2] = r.Float64() * 10
+		}
+	}
+	return pts
+}
+
+func sizes(labels []int32, k int) []int {
+	s := make([]int, k)
+	for _, l := range labels {
+		s[l]++
+	}
+	return s
+}
+
+func TestBuildBalance(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, k := range []int{1, 2, 3, 5, 8, 25} {
+		pts := randPoints(r, 1000, 2)
+		_, labels, err := Build(pts, 2, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := sizes(labels, k)
+		lo, hi := 1000/k-k, 1000/k+k // proportional splitting: off by <= 1 per level
+		for p, n := range s {
+			if n < lo || n > hi {
+				t.Errorf("k=%d: partition %d has %d points, want ~%d", k, p, n, 1000/k)
+			}
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	pts := []geom.Point{geom.P2(0, 0)}
+	if _, _, err := Build(pts, 1, 2); err == nil {
+		t.Error("accepted dim=1")
+	}
+	if _, _, err := Build(pts, 2, 0); err == nil {
+		t.Error("accepted k=0")
+	}
+}
+
+func TestPartOfAgreesWithLabels(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	pts := randPoints(r, 500, 3)
+	tree, labels, err := Build(pts, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if got := tree.PartOf(p); got != labels[i] {
+			// Coincident coordinates on a cut plane can legitimately
+			// differ only if two points share the cut coordinate; RCB
+			// assigns by sorted order, PartOf by <=. Accept only that case.
+			t.Errorf("point %d: PartOf = %d, label = %d", i, got, labels[i])
+		}
+	}
+}
+
+func TestRegionsPartitionRootBox(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pts := randPoints(r, 300, 2)
+	tree, labels, err := Build(pts, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := geom.BoxOf(pts)
+	regs := tree.Regions(root)
+	if len(regs) != 6 {
+		t.Fatalf("got %d regions", len(regs))
+	}
+	// Every point is inside its own region.
+	for i, p := range pts {
+		if !regs[labels[i]].Contains(p, 2) {
+			t.Errorf("point %d not in region of its partition", i)
+		}
+	}
+	// Region areas sum to the root area (disjoint cover).
+	var sum float64
+	for _, b := range regs {
+		sum += b.Volume(2)
+	}
+	if root.Volume(2) == 0 {
+		t.Fatal("degenerate root box")
+	}
+	if diff := sum - root.Volume(2); diff > 1e-9*root.Volume(2) || diff < -1e-9*root.Volume(2) {
+		t.Errorf("region areas sum to %g, root is %g", sum, root.Volume(2))
+	}
+}
+
+func TestUpdatePreservesBalance(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	pts := randPoints(r, 800, 2)
+	tree, _, err := Build(pts, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Move all points slightly and drop some (simulating erosion).
+	moved := make([]geom.Point, 0, len(pts))
+	for i, p := range pts {
+		if i%17 == 0 {
+			continue
+		}
+		moved = append(moved, p.Add(geom.P2(r.Float64()*0.1, r.Float64()*0.1)))
+	}
+	labels := tree.Update(moved)
+	s := sizes(labels, 10)
+	n := len(moved)
+	for p, c := range s {
+		if c < n/10-10 || c > n/10+10 {
+			t.Errorf("after update partition %d has %d points, want ~%d", p, c, n/10)
+		}
+	}
+}
+
+func TestUpdateMovesFewPointsForSmallMotion(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	pts := randPoints(r, 2000, 3)
+	tree, labels, err := Build(pts, 3, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny jitter: only points adjacent to cut planes should migrate.
+	jit := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		jit[i] = p.Add(geom.P3(r.Float64()*0.01, r.Float64()*0.01, r.Float64()*0.01))
+	}
+	newLabels := tree.Update(jit)
+	movedCount := 0
+	for i := range labels {
+		if labels[i] != newLabels[i] {
+			movedCount++
+		}
+	}
+	if movedCount > len(pts)/10 {
+		t.Errorf("small motion moved %d/%d points between partitions", movedCount, len(pts))
+	}
+}
+
+func TestSubdomainBoxes(t *testing.T) {
+	pts := []geom.Point{geom.P2(0, 0), geom.P2(1, 1), geom.P2(5, 5), geom.P2(6, 6)}
+	labels := []int32{0, 0, 1, 1}
+	boxes := SubdomainBoxes(pts, labels, 3)
+	if boxes[0].Min != geom.P2(0, 0) || boxes[0].Max != geom.P2(1, 1) {
+		t.Errorf("box 0 = %v", boxes[0])
+	}
+	if boxes[1].Min != geom.P2(5, 5) || boxes[1].Max != geom.P2(6, 6) {
+		t.Errorf("box 1 = %v", boxes[1])
+	}
+	if !boxes[2].IsEmpty(2) {
+		t.Error("empty partition box not empty")
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	// k > n: some partitions empty, but no panic and labels valid.
+	pts := []geom.Point{geom.P2(0, 0), geom.P2(1, 0)}
+	tree, labels, err := Build(pts, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range labels {
+		if l < 0 || l >= 5 {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+	if tree.Depth() < 1 {
+		t.Error("depth < 1")
+	}
+	// All points coincident.
+	same := []geom.Point{geom.P2(1, 1), geom.P2(1, 1), geom.P2(1, 1), geom.P2(1, 1)}
+	_, labels2, err := Build(same, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sizes(labels2, 2)
+	if s[0] != 2 || s[1] != 2 {
+		t.Errorf("coincident points split %v, want [2 2]", s)
+	}
+	// Empty input.
+	_, labels3, err := Build(nil, 2, 4)
+	if err != nil || len(labels3) != 0 {
+		t.Errorf("empty input: %v, %v", labels3, err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	pts := randPoints(r, 400, 2)
+	_, l1, _ := Build(pts, 2, 9)
+	_, l2, _ := Build(pts, 2, 9)
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatal("Build not deterministic")
+		}
+	}
+}
+
+// Property: every partition's points lie inside its Regions() box, and
+// partition sizes deviate from n/k by at most log2(k)+1.
+func TestQuickBuildInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 10 + r.Intn(500)
+		k := 1 + r.Intn(16)
+		dim := 2 + r.Intn(2)
+		pts := randPoints(r, n, dim)
+		tree, labels, err := Build(pts, dim, k)
+		if err != nil {
+			return false
+		}
+		regs := tree.Regions(geom.BoxOf(pts))
+		for i, p := range pts {
+			if labels[i] < 0 || int(labels[i]) >= k {
+				return false
+			}
+			if !regs[labels[i]].Contains(p, dim) {
+				return false
+			}
+		}
+		s := sizes(labels, k)
+		for _, c := range s {
+			if c < n/k-5-k || c > n/k+5+k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUpdateWithEmptyAndShrunkenSets(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	pts := randPoints(r, 300, 2)
+	tree, _, err := Build(pts, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Update with an empty set: all partitions empty, no panic.
+	labels := tree.Update(nil)
+	if len(labels) != 0 {
+		t.Fatalf("labels = %v", labels)
+	}
+	// Update with fewer points than partitions.
+	few := pts[:3]
+	labels = tree.Update(few)
+	for _, l := range labels {
+		if l < 0 || l >= 6 {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+}
+
+func TestRegionsDegenerateK1(t *testing.T) {
+	pts := []geom.Point{geom.P2(1, 1), geom.P2(2, 2)}
+	tree, labels, err := Build(pts, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range labels {
+		if l != 0 {
+			t.Fatal("k=1 wrong label")
+		}
+	}
+	regs := tree.Regions(geom.BoxOf(pts))
+	if len(regs) != 1 {
+		t.Fatalf("%d regions", len(regs))
+	}
+}

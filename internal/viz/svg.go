@@ -1,0 +1,126 @@
+// Package viz renders the paper's 2D figures (point sets, decision-tree
+// leaf rectangles, RCB regions) as standalone SVG documents, using only
+// the standard library. cmd/treedemo uses it for -svg output.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// palette holds visually distinct fill colors, cycled per partition.
+var palette = []string{
+	"#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+	"#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+}
+
+// Color returns the SVG color for partition p.
+func Color(p int32) string { return palette[int(p)%len(palette)] }
+
+// Canvas accumulates SVG elements in data coordinates and writes a
+// scaled document. The y axis is flipped so larger y draws upward,
+// matching the math convention of the figures.
+type Canvas struct {
+	box    geom.AABB
+	width  float64
+	height float64
+	body   strings.Builder
+}
+
+// NewCanvas creates a canvas mapping box to a width x height pixel
+// viewport (with a small margin).
+func NewCanvas(box geom.AABB, width, height float64) *Canvas {
+	return &Canvas{box: box, width: width, height: height}
+}
+
+const margin = 12.0
+
+func (c *Canvas) sx(x float64) float64 {
+	w := c.box.Max[0] - c.box.Min[0]
+	if w == 0 {
+		w = 1
+	}
+	return margin + (x-c.box.Min[0])/w*(c.width-2*margin)
+}
+
+func (c *Canvas) sy(y float64) float64 {
+	h := c.box.Max[1] - c.box.Min[1]
+	if h == 0 {
+		h = 1
+	}
+	return c.height - margin - (y-c.box.Min[1])/h*(c.height-2*margin)
+}
+
+// Rect draws an axis-aligned rectangle with the given fill (use "none"
+// for outline only) and stroke color.
+func (c *Canvas) Rect(b geom.AABB, fill, stroke string, opacity float64) {
+	x0, y0 := c.sx(b.Min[0]), c.sy(b.Max[1])
+	x1, y1 := c.sx(b.Max[0]), c.sy(b.Min[1])
+	fmt.Fprintf(&c.body,
+		`<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" fill-opacity="%.2f" stroke="%s" stroke-width="1"/>`+"\n",
+		x0, y0, x1-x0, y1-y0, fill, opacity, stroke)
+}
+
+// Point draws a filled circle at p.
+func (c *Canvas) Point(p geom.Point, color string, r float64) {
+	fmt.Fprintf(&c.body, `<circle cx="%.2f" cy="%.2f" r="%.1f" fill="%s"/>`+"\n",
+		c.sx(p[0]), c.sy(p[1]), r, color)
+}
+
+// Line draws a line segment from a to b.
+func (c *Canvas) Line(a, b geom.Point, color string, width float64) {
+	fmt.Fprintf(&c.body, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="%.1f"/>`+"\n",
+		c.sx(a[0]), c.sy(a[1]), c.sx(b[0]), c.sy(b[1]), color, width)
+}
+
+// Text draws a label at p.
+func (c *Canvas) Text(p geom.Point, s string) {
+	fmt.Fprintf(&c.body, `<text x="%.2f" y="%.2f" font-size="11" font-family="sans-serif">%s</text>`+"\n",
+		c.sx(p[0]), c.sy(p[1]), escape(s))
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// WriteTo emits the SVG document. It implements io.WriterTo.
+func (c *Canvas) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	n, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		c.width, c.height, c.width, c.height)
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	n, err = io.WriteString(w, c.body.String())
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	n, err = io.WriteString(w, "</svg>\n")
+	total += int64(n)
+	return total, err
+}
+
+// PartitionedPoints renders labeled points plus a set of region
+// rectangles colored by region label — the standard layout of
+// Figures 1(b) and 2(a).
+func PartitionedPoints(pts []geom.Point, labels []int32, regions []geom.AABB, regionLabels []int32, width, height float64) *Canvas {
+	box := geom.BoxOf(pts)
+	for _, r := range regions {
+		box = box.Union(r)
+	}
+	c := NewCanvas(box, width, height)
+	for i, r := range regions {
+		c.Rect(r, Color(regionLabels[i]), "#333333", 0.15)
+	}
+	for i, p := range pts {
+		c.Point(p, Color(labels[i]), 3)
+	}
+	return c
+}

@@ -1,0 +1,97 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestCanvasProducesValidSVG(t *testing.T) {
+	box := geom.AABB{Min: geom.P2(0, 0), Max: geom.P2(10, 10)}
+	c := NewCanvas(box, 400, 300)
+	c.Rect(geom.AABB{Min: geom.P2(1, 1), Max: geom.P2(4, 4)}, Color(0), "#000", 0.3)
+	c.Point(geom.P2(2, 2), Color(1), 3)
+	c.Line(geom.P2(0, 0), geom.P2(10, 10), "#888", 1)
+	c.Text(geom.P2(5, 5), "A < 3 & \"x\"")
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "<rect", "<circle", "<line", "<text", "&lt;", "&amp;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in SVG output", want)
+		}
+	}
+	if strings.Contains(out, "A < 3") {
+		t.Error("unescaped text in SVG")
+	}
+}
+
+func TestCoordinateMapping(t *testing.T) {
+	box := geom.AABB{Min: geom.P2(0, 0), Max: geom.P2(10, 10)}
+	c := NewCanvas(box, 100, 100)
+	// Data origin maps to bottom-left (y flipped): sy(0) > sy(10).
+	if c.sy(0) <= c.sy(10) {
+		t.Error("y axis not flipped")
+	}
+	if c.sx(0) >= c.sx(10) {
+		t.Error("x axis reversed")
+	}
+	// Extremes stay inside the viewport.
+	for _, v := range []float64{c.sx(0), c.sx(10)} {
+		if v < 0 || v > 100 {
+			t.Errorf("x coordinate %v outside viewport", v)
+		}
+	}
+}
+
+func TestDegenerateBox(t *testing.T) {
+	// Zero-extent boxes must not divide by zero.
+	box := geom.AABB{Min: geom.P2(5, 5), Max: geom.P2(5, 5)}
+	c := NewCanvas(box, 100, 100)
+	c.Point(geom.P2(5, 5), Color(0), 2)
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Error("NaN in SVG output")
+	}
+}
+
+func TestColorCycle(t *testing.T) {
+	seen := map[string]bool{}
+	for p := int32(0); p < 10; p++ {
+		seen[Color(p)] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("only %d distinct colors in first 10", len(seen))
+	}
+	if Color(0) != Color(10) {
+		t.Error("palette does not cycle")
+	}
+}
+
+func TestPartitionedPoints(t *testing.T) {
+	pts := []geom.Point{geom.P2(0, 0), geom.P2(1, 1), geom.P2(2, 2)}
+	labels := []int32{0, 1, 0}
+	regions := []geom.AABB{
+		{Min: geom.P2(0, 0), Max: geom.P2(1.5, 3)},
+		{Min: geom.P2(1.5, 0), Max: geom.P2(3, 3)},
+	}
+	c := PartitionedPoints(pts, labels, regions, []int32{0, 1}, 300, 300)
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "<circle") != 3 {
+		t.Errorf("want 3 circles, got %d", strings.Count(out, "<circle"))
+	}
+	if strings.Count(out, "<rect") != 2 {
+		t.Errorf("want 2 rects, got %d", strings.Count(out, "<rect"))
+	}
+}
