@@ -1,0 +1,21 @@
+# Verification targets (referenced from README.md). `make check` is
+# the gate every PR runs: static analysis plus the full test suite
+# under the race detector, which exercises the concurrent harness
+# (RunAll k-sweep + per-snapshot measurement legs), the parallel
+# engine workers, and the parallel recursive-bisection partitioner.
+
+.PHONY: check vet test race bench
+
+check: vet race
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...

@@ -10,6 +10,9 @@
 //	contactbench -k 25,100 -snapshots 100
 //	contactbench -ablate               # design-choice ablations
 //	contactbench -sweep                # Section 4.2 max_p/max_i sweep
+//	contactbench -workers 8            # concurrent k-sweep on 8 workers
+//	contactbench -phases -obs rep.json # per-phase timing table + JSON report
+//	contactbench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -23,6 +26,8 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/pool"
 	"repro/internal/sim"
 )
 
@@ -38,8 +43,32 @@ func main() {
 		ablate    = flag.Bool("ablate", false, "also run the design-choice ablations")
 		sweep     = flag.Bool("sweep", false, "run the Section 4.2 max_p/max_i sensitivity sweep")
 		csvPath   = flag.String("csv", "", "also write per-snapshot metric rows to this CSV file")
+		workers   = flag.Int("workers", 0, "worker-pool size for the concurrent k-sweep (0 = GOMAXPROCS)")
+		phases    = flag.Bool("phases", false, "print the per-phase timing/counter table")
+		obsPath   = flag.String("obs", "", "write the per-phase observability report (JSON) to this file")
+		cpuProf   = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a runtime/pprof heap profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		stop, err := obs.StartCPUProfile(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memProf); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
 
 	ks, err := parseKs(*kList)
 	if err != nil {
@@ -77,16 +106,20 @@ func main() {
 		return
 	}
 
-	var results []*harness.Result
-	for _, k := range ks {
-		t1 := time.Now()
-		r, err := harness.Run(snaps, harness.Config{K: k, Seed: *seed})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("[%d-way done in %.1fs; MCML+DT avg imbalance FE %.3f / contact %.3f]\n",
-			k, time.Since(t1).Seconds(), r.Avg.MCImbalanceFE, r.Avg.MCImbalanceContact)
-		results = append(results, r)
+	col := obs.New()
+	cfgs := make([]harness.Config, len(ks))
+	for i, k := range ks {
+		cfgs[i] = harness.Config{K: k, Seed: *seed, Obs: col}
+	}
+	t1 := time.Now()
+	results, err := harness.RunAll(snaps, cfgs, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("[k-sweep %v done in %.1fs on %d workers]\n", ks, time.Since(t1).Seconds(), pool.Workers(*workers))
+	for _, r := range results {
+		fmt.Printf("[%d-way: MCML+DT avg imbalance FE %.3f / contact %.3f]\n",
+			r.K, r.Avg.MCImbalanceFE, r.Avg.MCImbalanceContact)
 	}
 	fmt.Println("\nTable 1 (averages over the snapshot sequence):")
 	harness.WriteTable(os.Stdout, results)
@@ -109,6 +142,17 @@ func main() {
 
 	if *ablate {
 		runAblations(snaps, ks, *seed)
+	}
+
+	if *phases {
+		fmt.Println("\nPer-phase timings and counters:")
+		col.Report().WriteTable(os.Stdout)
+	}
+	if *obsPath != "" {
+		if err := col.Report().WriteJSONFile(*obsPath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote observability report to %s\n", *obsPath)
 	}
 }
 

@@ -7,6 +7,8 @@
 //	partition -mesh FILE -k N [-algo mcmldt|mlrcb] [-seed N]
 //	          [-imbalance F] [-cweight N] [-maxp N] [-maxi N] [-tol F]
 //	partition -graph FILE.graph -k N [-method rb|direct]   # raw METIS graph
+//	partition ... -phases -obs rep.json                    # per-phase timings
+//	partition ... -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/metrics"
 	"repro/internal/mlrcb"
+	"repro/internal/obs"
 	"repro/internal/partition"
 )
 
@@ -38,10 +41,48 @@ func main() {
 		maxp      = flag.Int("maxp", 0, "guidance-tree max_p (0 = auto)")
 		maxi      = flag.Int("maxi", 0, "guidance-tree max_i (0 = auto)")
 		tol       = flag.Float64("tol", 0.5, "contact search proximity tolerance")
+		phases    = flag.Bool("phases", false, "print the per-phase timing table")
+		obsPath   = flag.String("obs", "", "write the per-phase observability report (JSON) to this file")
+		cpuProf   = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a runtime/pprof heap profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		stop, err := obs.StartCPUProfile(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memProf); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
+	col := obs.New()
+	reportObs := func() {
+		if *phases {
+			fmt.Println("\nPer-phase timings:")
+			col.Report().WriteTable(os.Stdout)
+		}
+		if *obsPath != "" {
+			if err := col.Report().WriteJSONFile(*obsPath); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote observability report to %s\n", *obsPath)
+		}
+	}
+
 	if *graphPath != "" {
-		partitionGraphFile(*graphPath, *k, *method, *seed, *imbalance)
+		partitionGraphFile(*graphPath, *k, *method, *seed, *imbalance, col)
+		reportObs()
 		return
 	}
 	if *meshPath == "" {
@@ -61,6 +102,7 @@ func main() {
 		d, err := core.Decompose(m, core.Config{
 			K: *k, Seed: *seed, Imbalance: *imbalance,
 			Nodal: nodal, MaxPure: *maxp, MaxImpure: *maxi, Parallel: true,
+			Obs: col,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -91,11 +133,12 @@ func main() {
 	default:
 		log.Fatalf("unknown -algo %q (want mcmldt or mlrcb)", *algo)
 	}
+	reportObs()
 }
 
 // partitionGraphFile partitions a raw METIS graph file and prints the
 // quality metrics.
-func partitionGraphFile(path string, k int, method string, seed int64, imbalance float64) {
+func partitionGraphFile(path string, k int, method string, seed int64, imbalance float64, col *obs.Collector) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -108,6 +151,7 @@ func partitionGraphFile(path string, k int, method string, seed int64, imbalance
 	fmt.Printf("graph: %d vertices, %d edges, %d constraints\n", g.NV(), g.NE(), g.NCon)
 	opt := partition.Options{K: k, Seed: seed, Imbalance: imbalance}
 	var labels []int32
+	stopPart := col.Start("partition")
 	switch method {
 	case "rb":
 		labels, err = partition.Partition(g, opt)
@@ -116,6 +160,7 @@ func partitionGraphFile(path string, k int, method string, seed int64, imbalance
 	default:
 		log.Fatalf("unknown -method %q", method)
 	}
+	stopPart()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,17 +2,20 @@
 // computation on k message-passing workers, showing the communication
 // the MCML+DT decomposition actually generates — ghost-node exchange
 // in the FE phase, decision-tree broadcast, and surface-element
-// shipping in the global search phase — and verifying the detected
-// contacts against serial detection.
+// shipping in the global search phase — verifying the detected
+// contacts against serial detection, and printing the per-phase
+// timing/counter breakdown the observability layer records.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/contact"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -34,12 +37,13 @@ func main() {
 	serial := contact.DetectContacts(m, tol)
 	fmt.Printf("serial contact detection: %d pairs\n\n", len(serial))
 
+	col := obs.New()
 	for _, k := range []int{4, 16} {
-		d, err := core.Decompose(m, core.Config{K: k, Seed: 1, Parallel: true})
+		d, err := core.Decompose(m, core.Config{K: k, Seed: 1, Parallel: true, Obs: col})
 		if err != nil {
 			log.Fatal(err)
 		}
-		st, err := engine.Run(m, d, tol)
+		st, err := engine.RunObserved(m, d, tol, col)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -60,4 +64,7 @@ func main() {
 		}
 		fmt.Printf("  busiest rank shipped:      %d elements\n\n", maxSent)
 	}
+
+	fmt.Println("per-phase breakdown (both runs; worker phases count once per rank):")
+	col.Report().WriteTable(os.Stdout)
 }

@@ -23,6 +23,11 @@ type UniformGrid struct {
 	nz      int
 	buckets [][]int32
 	indexed int
+	// stamps/epoch implement allocation-free per-query dedup of boxes
+	// spanning several cells: stamps[i] == epoch marks box i as already
+	// visited by the current query.
+	stamps []int32
+	epoch  int32
 }
 
 // NewUniformGrid builds a grid over the boxes with a cell size of
@@ -64,6 +69,7 @@ func NewUniformGrid(boxes []geom.AABB, dim int) *UniformGrid {
 	}
 	g.cell = cell
 	g.origin = world.Min
+	g.stamps = make([]int32, len(boxes))
 	g.buckets = make([][]int32, g.nx*g.ny*g.nz)
 	for i, b := range boxes {
 		g.eachCell(b, func(c int) {
@@ -74,8 +80,12 @@ func NewUniformGrid(boxes []geom.AABB, dim int) *UniformGrid {
 	return g
 }
 
+// gridCount returns the number of cells covering [lo, hi] at the given
+// cell size. A coordinate landing exactly on hi maps to index n via
+// floor division; cellRange's clamp folds it into cell n-1, so no
+// extra boundary row is needed.
 func gridCount(lo, hi, cell float64) int {
-	n := int(math.Ceil((hi-lo)/cell)) + 1
+	n := int(math.Ceil((hi - lo) / cell))
 	if n < 1 {
 		n = 1
 	}
@@ -121,18 +131,26 @@ func (g *UniformGrid) eachCell(b geom.AABB, fn func(cell int)) {
 
 // Query calls visit for every indexed box intersecting q. A box
 // spanning several cells is reported once per query (deduplicated with
-// a visited stamp), and in ascending index order is NOT guaranteed.
+// the grid's epoch stamps, so queries allocate nothing), and in
+// ascending index order is NOT guaranteed. The stamp buffer is owned
+// by the grid: Query must not be called concurrently on one grid.
 func (g *UniformGrid) Query(boxes []geom.AABB, q geom.AABB, visit func(i int32)) {
 	if g.indexed == 0 {
 		return
 	}
-	seen := make(map[int32]struct{}, 16)
+	g.epoch++
+	if g.epoch <= 0 { // epoch wrapped: reset all stamps once
+		for i := range g.stamps {
+			g.stamps[i] = 0
+		}
+		g.epoch = 1
+	}
 	g.eachCell(q, func(c int) {
 		for _, i := range g.buckets[c] {
-			if _, dup := seen[i]; dup {
+			if g.stamps[i] == g.epoch {
 				continue
 			}
-			seen[i] = struct{}{}
+			g.stamps[i] = g.epoch
 			if boxes[i].Intersects(q, g.dim) {
 				visit(i)
 			}

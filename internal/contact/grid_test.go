@@ -117,6 +117,76 @@ func TestUniformGridCoincidentBoxes(t *testing.T) {
 	}
 }
 
+func TestUniformGridQueryAllocationFree(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	boxes := gridRandBoxes(r, 1000)
+	g := NewUniformGrid(boxes, 3)
+	queries := gridRandBoxes(r, 16)
+	found := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, q := range queries {
+			g.Query(boxes, q, func(int32) { found++ })
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Query allocated %.1f times per run, want 0", allocs)
+	}
+	if found == 0 {
+		t.Error("queries found nothing; test is vacuous")
+	}
+}
+
+func TestUniformGridCellCountNoExtraRow(t *testing.T) {
+	// [0,10] at cell 5 is exactly two cells; the old code added a third
+	// boundary row.
+	if n := gridCount(0, 10, 5); n != 2 {
+		t.Errorf("gridCount(0,10,5) = %d, want 2", n)
+	}
+	if n := gridCount(0, 9, 5); n != 2 {
+		t.Errorf("gridCount(0,9,5) = %d, want 2", n)
+	}
+	// Degenerate extents still get one cell.
+	if n := gridCount(3, 3, 5); n != 1 {
+		t.Errorf("gridCount(3,3,5) = %d, want 1", n)
+	}
+	// Boxes on the exact upper boundary are still indexed and found.
+	boxes := []geom.AABB{
+		{Min: geom.P3(0, 0, 0), Max: geom.P3(1, 1, 1)},
+		{Min: geom.P3(9, 9, 9), Max: geom.P3(10, 10, 10)},
+	}
+	g := NewUniformGrid(boxes, 3)
+	hit := map[int32]bool{}
+	g.Query(boxes, geom.AABB{Min: geom.P3(9.5, 9.5, 9.5), Max: geom.P3(12, 12, 12)}, func(i int32) {
+		hit[i] = true
+	})
+	if !hit[1] || hit[0] {
+		t.Errorf("boundary query hits: %v, want only box 1", hit)
+	}
+}
+
+func TestUniformGridManyQueriesStampReuse(t *testing.T) {
+	// Repeated queries must keep deduplicating correctly as the epoch
+	// advances (each Query bumps it once).
+	r := rand.New(rand.NewSource(11))
+	boxes := gridRandBoxes(r, 300)
+	g := NewUniformGrid(boxes, 3)
+	for trial := 0; trial < 500; trial++ {
+		q := gridRandBoxes(r, 1)[0]
+		seen := map[int32]bool{}
+		g.Query(boxes, q, func(i int32) {
+			if seen[i] {
+				t.Fatalf("trial %d: duplicate visit of %d", trial, i)
+			}
+			seen[i] = true
+		})
+		for i, b := range boxes {
+			if seen[int32(i)] != b.Intersects(q, 3) {
+				t.Fatalf("trial %d: box %d wrong", trial, i)
+			}
+		}
+	}
+}
+
 func BenchmarkUniformGridBuild(b *testing.B) {
 	boxes := benchBoxes(20000)
 	b.ResetTimer()

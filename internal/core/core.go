@@ -29,6 +29,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mesh"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/rcb"
 )
@@ -67,6 +68,9 @@ type Config struct {
 	// (dtree.Options.PreferWideGaps) — the tree-induction improvement
 	// of the paper's future-work section.
 	WideGaps bool
+	// Obs, when non-nil, receives per-phase wall-clock timings
+	// ("partition", "tree_induction") for every pipeline run.
+	Obs *obs.Collector
 }
 
 func (c Config) withDefaults(n int) Config {
@@ -125,6 +129,7 @@ func Decompose(m *mesh.Mesh, cfg Config) (*Decomposition, error) {
 	g := m.NodalGraph(cfg.Nodal)
 
 	popt := partition.Options{K: cfg.K, Seed: cfg.Seed, Imbalance: cfg.Imbalance}
+	stopPart := cfg.Obs.Start("partition")
 	var raw []int32
 	var err error
 	if cfg.Geometric {
@@ -132,6 +137,7 @@ func Decompose(m *mesh.Mesh, cfg Config) (*Decomposition, error) {
 	} else {
 		raw, err = partition.Partition(g, popt)
 	}
+	stopPart()
 	if err != nil {
 		return nil, err
 	}
@@ -175,8 +181,10 @@ func Redecompose(m *mesh.Mesh, prevLabels []int32, cfg Config) (*Decomposition, 
 	g := m.NodalGraph(cfg.Nodal)
 
 	popt := partition.Options{K: cfg.K, Seed: cfg.Seed, Imbalance: cfg.Imbalance}
+	stopPart := cfg.Obs.Start("partition")
 	labels := append([]int32(nil), prevLabels...)
 	migrated, err := partition.Repartition(g, labels, partition.RepartitionOptions{Options: popt})
+	stopPart()
 	if err != nil {
 		return nil, 0, err
 	}
@@ -202,12 +210,14 @@ func Redecompose(m *mesh.Mesh, prevLabels []int32, cfg Config) (*Decomposition, 
 // and G' refinement.
 func (d *Decomposition) reshape(m *mesh.Mesh, popt partition.Options) error {
 	cfg := d.Cfg
+	stopTree := cfg.Obs.Start("tree_induction")
 	gt, err := dtree.Build(m.Coords, d.Labels, m.Dim, cfg.K, dtree.Options{
 		Mode:      dtree.Guidance,
 		MaxPure:   cfg.MaxPure,
 		MaxImpure: cfg.MaxImpure,
 		Parallel:  cfg.Parallel,
 	})
+	stopTree()
 	if err != nil {
 		return err
 	}
@@ -274,11 +284,13 @@ func DescriptorFor(m *mesh.Mesh, labels []int32, cfg Config) (*dtree.Tree, []int
 	if k < 1 {
 		k = 1
 	}
+	stopTree := cfg.Obs.Start("tree_induction")
 	tree, err := dtree.Build(pts, cl, m.Dim, k, dtree.Options{
 		Mode:           dtree.Descriptor,
 		Parallel:       cfg.Parallel,
 		PreferWideGaps: cfg.WideGaps,
 	})
+	stopTree()
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}

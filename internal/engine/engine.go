@@ -33,6 +33,7 @@ import (
 	"repro/internal/dtree"
 	"repro/internal/geom"
 	"repro/internal/mesh"
+	"repro/internal/obs"
 )
 
 // Stats is the outcome of one parallel iteration.
@@ -81,6 +82,15 @@ type elemMsg struct {
 // tol is the narrow-phase contact tolerance; element shipping uses the
 // sound inflation tol + MaxFacetDiameter so no contact can be lost.
 func Run(m *mesh.Mesh, d *core.Decomposition, tol float64) (*Stats, error) {
+	return RunObserved(m, d, tol, nil)
+}
+
+// RunObserved is Run with per-phase observability: each worker's
+// global-search and local-search wall time is recorded under the
+// canonical "global_search" / "local_search" phases (count = k,
+// total = aggregate busy time across workers), plus the realized
+// traffic counters. col may be nil.
+func RunObserved(m *mesh.Mesh, d *core.Decomposition, tol float64, col *obs.Collector) (*Stats, error) {
 	k := d.Cfg.K
 	if k < 1 {
 		return nil, fmt.Errorf("engine: k = %d", k)
@@ -166,6 +176,7 @@ func Run(m *mesh.Mesh, d *core.Decomposition, tol float64) (*Stats, error) {
 
 			// --- Phase 2: global search. Parse the broadcast tree and
 			// filter our own surface elements through it. ---
+			stopGlobal := col.Start("global_search")
 			tree, err := dtree.ReadTree(bytes.NewReader(treeBuf.Bytes()))
 			if err != nil {
 				errCh <- err
@@ -212,11 +223,14 @@ func Run(m *mesh.Mesh, d *core.Decomposition, tol float64) (*Stats, error) {
 				ws.ElemsRecv += int64(len(msg.elems))
 				received = append(received, msg.elems...)
 			}
+			stopGlobal()
 
-			// --- Phase 3: local search over own + received elements.
-			// Report a pair only when this rank owns its A side (the
-			// lower element id's owner), so the global set is exact. ---
+			// --- Phase 3: local search over own + received elements,
+			// reported under the duplicate-free ownership rule (see
+			// localSearch). ---
+			stopLocal := col.Start("local_search")
 			pairs := localSearch(m, boxes, owners, elemsOf[rank], received, rank, tol)
+			stopLocal()
 			ws.PairsDetected = len(pairs)
 			pairsCh <- pairs
 		}(p)
@@ -250,23 +264,36 @@ func Run(m *mesh.Mesh, d *core.Decomposition, tol float64) (*Stats, error) {
 		stats.GhostUnits += stats.PerWorker[p].GhostsSent
 		stats.ElemsShipped += stats.PerWorker[p].ElemsSent
 	}
+	col.Add("ghost_units", stats.GhostUnits)
+	col.Add("elems_shipped", stats.ElemsShipped)
+	col.Add("tree_bytes", stats.TreeBytes)
+	col.Add("pairs_detected", int64(len(stats.Pairs)))
 	return stats, nil
 }
 
 // localSearch runs the narrow phase at one rank: every pair of
 // elements among own ∪ received whose inflated boxes intersect is
 // tested exactly; a pair is reported when its exact distance is within
-// tol, it does not share mesh nodes, and this rank owns the pair's
-// canonical side (the owner of the smaller element id), which makes
-// the union over ranks duplicate-free... except that the canonical
-// owner must have seen both elements; when it has not (the other side
-// was shipped only the other way), the rank owning the larger id
-// reports instead. The reporting rule is: report if rank owns A, or
-// rank owns B and A was received here (then only if rank != owner(A)).
+// tol, it does not share mesh nodes, and the reporting rule selects
+// this rank. The primary rule — the rank owning the pair's canonical A
+// side (the smaller element id) reports — makes the union over ranks
+// duplicate-free, but it is only complete when the canonical owner saw
+// both elements; the tree filter may ship A to owner(B) without
+// shipping B to owner(A). The fallback covers that asymmetry: the rank
+// owning B also reports when A was received here. When both owners saw
+// both elements the pair is reported twice and the collector's dedup
+// map folds the copies.
 func localSearch(m *mesh.Mesh, boxes []geom.AABB, owners []int32, own, received []int32, rank int, tol float64) []contact.Pair {
 	all := make([]int32, 0, len(own)+len(received))
 	all = append(all, own...)
 	all = append(all, received...)
+	// The received-set: which elements arrived at this rank in phase 2.
+	// The fallback rule needs it to know that owner(B) can stand in for
+	// an owner(A) that never saw B.
+	recv := make([]bool, len(m.Surface))
+	for _, e := range received {
+		recv[e] = true
+	}
 	sub := make([]geom.AABB, len(all))
 	for i, e := range all {
 		sub[i] = boxes[e]
@@ -300,9 +327,13 @@ func localSearch(m *mesh.Mesh, boxes []geom.AABB, owners []int32, own, received 
 			if eb <= ea || shareNode(ea, eb) {
 				return
 			}
-			// Reporting rule for a duplicate-free union: the rank
-			// owning the smaller element id reports the pair.
-			if int(owners[ea]) != rank {
+			// Reporting rule: the rank owning the smaller element id
+			// reports; the rank owning the larger id also reports when
+			// the smaller one was shipped here (the canonical owner may
+			// never have seen B — the collector dedups the overlap).
+			ownsA := int(owners[ea]) == rank
+			ownsB := int(owners[eb]) == rank
+			if !ownsA && !(ownsB && recv[ea]) {
 				return
 			}
 			da := geom.FacetDist(fa, facet(eb))

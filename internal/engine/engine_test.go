@@ -5,7 +5,12 @@ import (
 
 	"repro/internal/contact"
 	"repro/internal/core"
+	"repro/internal/dtree"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/mesh"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -90,6 +95,136 @@ func TestParallelDetectionMatchesSerial(t *testing.T) {
 		}
 		t.Logf("k=%d: %d pairs, ghosts=%d, shipped=%d, tree=%dB",
 			k, len(st.Pairs), st.GhostUnits, st.ElemsShipped, st.TreeBytes)
+	}
+}
+
+// TestAsymmetricShippingRegression pins the localSearch reporting-rule
+// fix: when the tree filter ships element A to owner(B) without
+// shipping B to owner(A), the canonical owner of A never sees the
+// pair, and only the fallback rule ("rank owns B and A was received
+// here") reports it. The decomposition is built by hand so the
+// asymmetry is guaranteed: partition 0's contact point sits far from
+// both facets, so nothing is ever shipped to rank 0, while partition
+// 1's contact point sits between the facets, so A ships to rank 1.
+// Before the fix, engine.Run returned zero pairs here while serial
+// detection finds one.
+func TestAsymmetricShippingRegression(t *testing.T) {
+	// Two unit segments on the x-axis, 0.2 apart: facet A (nodes 0-1,
+	// partition 0) and facet B (nodes 2-3, partition 1).
+	m := &mesh.Mesh{
+		Dim: 2,
+		Coords: []geom.Point{
+			geom.P2(0, 0), geom.P2(1, 0),
+			geom.P2(1.2, 0), geom.P2(2.2, 0),
+		},
+		EPtr: []int32{0},
+		Surface: []mesh.SurfaceElem{
+			{Nodes: []int32{0, 1}, Elem: -1},
+			{Nodes: []int32{2, 3}, Elem: -1},
+		},
+	}
+	labels := []int32{0, 0, 1, 1}
+
+	// Descriptor tree over one contact point per partition. Partition
+	// 0's point is far left: its tight leaf box intersects neither
+	// inflated facet box, so the filter never ships anything to rank 0.
+	// Partition 1's point lies between the facets, so A's box reaches
+	// it and A ships to rank 1.
+	pts := []geom.Point{geom.P2(-10, 0), geom.P2(1.5, 0)}
+	ptLabels := []int32{0, 1}
+	tree, err := dtree.Build(pts, ptLabels, 2, 2, dtree.Options{Mode: dtree.Descriptor})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := &core.Decomposition{
+		Cfg:           core.Config{K: 2},
+		Graph:         graph.NewBuilder(m.NumNodes(), 1).Build(),
+		Labels:        labels,
+		Descriptor:    tree,
+		ContactPoints: pts,
+		ContactLabels: ptLabels,
+	}
+
+	const tol = 0.3
+	serial := contact.DetectContacts(m, tol)
+	if len(serial) != 1 {
+		t.Fatalf("scene construction broken: serial found %d pairs, want 1", len(serial))
+	}
+
+	st, err := Run(m, d, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shipping really is asymmetric: exactly one element shipped
+	// (A to rank 1), nothing to rank 0.
+	if st.ElemsShipped != 1 || st.PerWorker[0].ElemsRecv != 0 {
+		t.Fatalf("shipping not asymmetric: shipped=%d, rank0 received=%d",
+			st.ElemsShipped, st.PerWorker[0].ElemsRecv)
+	}
+	if len(st.Pairs) != 1 {
+		t.Fatalf("parallel detection dropped the asymmetric pair: got %d pairs, want 1", len(st.Pairs))
+	}
+	if st.Pairs[0] != serial[0] {
+		t.Errorf("pair differs: parallel %+v, serial %+v", st.Pairs[0], serial[0])
+	}
+}
+
+// TestFallbackDoesNotDuplicate: when shipping is symmetric both owners
+// report the pair, and the collector must fold the duplicates.
+func TestFallbackDoesNotDuplicate(t *testing.T) {
+	for _, k := range []int{3, 8} {
+		sn, d := testSetup(t, k, 30)
+		const tol = 0.5
+		st, err := Run(sn.Mesh, d, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[[2]int32]bool{}
+		for _, pr := range st.Pairs {
+			key := [2]int32{pr.A, pr.B}
+			if seen[key] {
+				t.Fatalf("k=%d: duplicate pair (%d,%d)", k, pr.A, pr.B)
+			}
+			seen[key] = true
+		}
+		serial := contact.DetectContacts(sn.Mesh, tol)
+		if len(st.Pairs) != len(serial) {
+			t.Fatalf("k=%d: %d pairs vs serial %d", k, len(st.Pairs), len(serial))
+		}
+	}
+}
+
+func TestRunObservedRecordsPhases(t *testing.T) {
+	sn, d := testSetup(t, 4, 30)
+	col := obs.New()
+	st, err := RunObserved(sn.Mesh, d, 0.5, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := col.Report()
+	phases := map[string]obs.PhaseStat{}
+	for _, p := range r.Phases {
+		phases[p.Name] = p
+	}
+	for _, name := range []string{"global_search", "local_search"} {
+		p, ok := phases[name]
+		if !ok {
+			t.Fatalf("phase %q not recorded: %+v", name, r.Phases)
+		}
+		if p.Count != 4 {
+			t.Errorf("%s count %d, want one per worker", name, p.Count)
+		}
+	}
+	counters := map[string]int64{}
+	for _, c := range r.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["elems_shipped"] != st.ElemsShipped {
+		t.Errorf("elems_shipped counter %d != %d", counters["elems_shipped"], st.ElemsShipped)
+	}
+	if counters["pairs_detected"] != int64(len(st.Pairs)) {
+		t.Errorf("pairs counter %d != %d", counters["pairs_detected"], len(st.Pairs))
 	}
 }
 

@@ -5,6 +5,14 @@
 // strategy keeps the partition fixed and only refreshes the geometric
 // descriptors), measures the six metrics of Section 5.1 on every
 // snapshot, and averages them into the rows of Table 1.
+//
+// The pipeline is concurrent at two levels, both on internal/pool:
+// RunAll fans independent experiment configs (the k-sweep) out over a
+// bounded worker pool, and within each experiment the two
+// per-snapshot measurement legs (MCML+DT and ML+RCB) run in parallel.
+// Both levels preserve the exact serial results: legs write disjoint
+// Row fields, snapshots stay ordered, and RunAll returns results in
+// config order.
 package harness
 
 import (
@@ -18,6 +26,8 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/metrics"
 	"repro/internal/mlrcb"
+	"repro/internal/obs"
+	"repro/internal/pool"
 	"repro/internal/sim"
 )
 
@@ -55,6 +65,15 @@ type Config struct {
 	// multi-constraint repartitioner (bounded migration) instead of a
 	// fresh partition. Only meaningful with RepartitionEvery > 0.
 	Incremental bool
+	// SerialLegs disables the concurrent per-snapshot measurement legs
+	// (used by tests to verify the concurrent path is observationally
+	// identical, and as an escape hatch on single-core hosts).
+	SerialLegs bool
+	// Obs, when non-nil, receives per-phase timings: "partition" and
+	// "tree_induction" from the decomposition pipeline plus
+	// "metric_eval" per snapshot leg. Shared by concurrent legs and
+	// experiments (the collector is concurrency-safe).
+	Obs *obs.Collector
 }
 
 func (c Config) withDefaults() Config {
@@ -131,6 +150,7 @@ func Run(snaps []sim.Snapshot, cfg Config) (*Result, error) {
 		Geometric:   cfg.Geometric,
 		WideGaps:    cfg.WideGaps,
 		Parallel:    true,
+		Obs:         cfg.Obs,
 	}
 	mlCfg := mlrcb.Config{K: cfg.K, Seed: cfg.Seed, Imbalance: cfg.Imbalance}
 
@@ -178,46 +198,70 @@ func Run(snaps []sim.Snapshot, cfg Config) (*Result, error) {
 
 		g := m.NodalGraph(mesh.NodalGraphOptions{NCon: 2})
 		var row Row
-		row.MCFEComm = metrics.CommVolume(g, mcLabels, cfg.K)
-		row.MLFEComm = metrics.CommVolume(g, mlLabels, cfg.K)
 
-		// MCML+DT: refresh the descriptor tree for the moved contact
-		// points (partition unchanged — the paper's update strategy).
-		desc, _, contactPts, contactLabels, err := core.DescriptorFor(m, mcLabels, coreCfg)
-		if err != nil {
-			return nil, err
+		// The two measurement legs are independent — the MC leg reads
+		// only MCML+DT state and writes only the MC* fields of row
+		// (plus the imbalance accumulators), the ML leg owns the RCB
+		// state and the ML* fields — so they run concurrently on the
+		// pool. Snapshots stay strictly ordered (both legs carry state
+		// across snapshots), which keeps Rows identical to the serial
+		// path.
+		mcLeg := func() error {
+			defer cfg.Obs.Start("metric_eval")()
+			row.MCFEComm = metrics.CommVolume(g, mcLabels, cfg.K)
+
+			// MCML+DT: refresh the descriptor tree for the moved
+			// contact points (partition unchanged — the paper's update
+			// strategy).
+			desc, _, contactPts, contactLabels, err := core.DescriptorFor(m, mcLabels, coreCfg)
+			if err != nil {
+				return err
+			}
+			row.MCNTNodes = int64(desc.NumNodes())
+			row.MCNRemote = core.NRemote(m, mcLabels, desc, contactPts, contactLabels, cfg.SearchTol, !cfg.LooseTreeFilter)
+
+			imb := metrics.LoadImbalance(g, mcLabels, cfg.K)
+			imbFE += imb[0]
+			imbContact += imb[1]
+			return nil
 		}
-		row.MCNTNodes = int64(desc.NumNodes())
-		row.MCNRemote = core.NRemote(m, mcLabels, desc, contactPts, contactLabels, cfg.SearchTol, !cfg.LooseTreeFilter)
+		mlLeg := func() error {
+			defer cfg.Obs.Start("metric_eval")()
+			row.MLFEComm = metrics.CommVolume(g, mlLabels, cfg.K)
 
-		imb := metrics.LoadImbalance(g, mcLabels, cfg.K)
-		imbFE += imb[0]
-		imbContact += imb[1]
-
-		// ML+RCB: incremental RCB update, then the decoupling costs.
-		if t > 0 {
-			mlState.Update(m)
-		}
-		moved := 0
-		curRCB := make(map[int64]int32, len(mlState.ContactNodes))
-		for i, n := range mlState.ContactNodes {
-			id := sn.NodeID[n]
-			curRCB[id] = mlState.ContactLabels[i]
+			// ML+RCB: incremental RCB update, then the decoupling costs.
 			if t > 0 {
-				if prev, ok := prevRCB[id]; ok && prev != mlState.ContactLabels[i] {
-					moved++
+				mlState.Update(m)
+			}
+			moved := 0
+			curRCB := make(map[int64]int32, len(mlState.ContactNodes))
+			for i, n := range mlState.ContactNodes {
+				id := sn.NodeID[n]
+				curRCB[id] = mlState.ContactLabels[i]
+				if t > 0 {
+					if prev, ok := prevRCB[id]; ok && prev != mlState.ContactLabels[i] {
+						moved++
+					}
 				}
 			}
-		}
-		prevRCB = curRCB
-		row.MLUpdComm = int64(moved)
+			prevRCB = curRCB
+			row.MLUpdComm = int64(moved)
 
-		m2m, err := mlState.M2MComm(mlLabels)
-		if err != nil {
+			m2m, err := mlState.M2MComm(mlLabels)
+			if err != nil {
+				return err
+			}
+			row.MLM2MComm = int64(m2m)
+			row.MLNRemote = mlState.NRemote(m, cfg.SearchTol)
+			return nil
+		}
+		legWorkers := 2
+		if cfg.SerialLegs {
+			legWorkers = 1
+		}
+		if err := pool.Run(legWorkers, mcLeg, mlLeg); err != nil {
 			return nil, err
 		}
-		row.MLM2MComm = int64(m2m)
-		row.MLNRemote = mlState.NRemote(m, cfg.SearchTol)
 
 		res.Rows = append(res.Rows, row)
 	}
@@ -239,6 +283,18 @@ func Run(snaps []sim.Snapshot, cfg Config) (*Result, error) {
 	res.Avg.MCImbalanceFE = imbFE / n
 	res.Avg.MCImbalanceContact = imbContact / n
 	return res, nil
+}
+
+// RunAll executes independent experiment configs (typically a k-sweep)
+// concurrently on a bounded worker pool and returns the results in
+// config order. workers <= 0 selects GOMAXPROCS. Each experiment is
+// internally deterministic for its seed, so the returned Results are
+// identical to running the configs serially — concurrency only buys
+// wall-clock time. A panicking experiment surfaces as a *pool.PanicError.
+func RunAll(snaps []sim.Snapshot, cfgs []Config, workers int) ([]*Result, error) {
+	return pool.Map(workers, len(cfgs), func(i int) (*Result, error) {
+		return Run(snaps, cfgs[i])
+	})
 }
 
 // labelMap builds a persistent-id -> label map.

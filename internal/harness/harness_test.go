@@ -2,9 +2,12 @@ package harness
 
 import (
 	"bytes"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -184,6 +187,147 @@ func TestGeometricPipelinePath(t *testing.T) {
 	}
 	if r.Avg.MCNTNodes <= 0 {
 		t.Error("geometric run produced no tree")
+	}
+}
+
+// TestSerialLegsMatchConcurrentLegs: the per-snapshot MCML+DT and
+// ML+RCB measurement legs run concurrently by default; the rows must
+// be identical to the strictly serial evaluation.
+func TestSerialLegsMatchConcurrentLegs(t *testing.T) {
+	snaps := testSnaps(t, 4)
+	conc, err := Run(snaps, Config{K: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := Run(snaps, Config{K: 6, Seed: 2, SerialLegs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conc.Rows) != len(ser.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(conc.Rows), len(ser.Rows))
+	}
+	for i := range conc.Rows {
+		if conc.Rows[i] != ser.Rows[i] {
+			t.Errorf("row %d: concurrent %+v != serial %+v", i, conc.Rows[i], ser.Rows[i])
+		}
+	}
+	if conc.Avg != ser.Avg {
+		t.Errorf("averages differ:\nconcurrent %+v\nserial     %+v", conc.Avg, ser.Avg)
+	}
+}
+
+// TestRunAllMatchesSerialSweep: the concurrent k-sweep must produce
+// Result.Rows identical to running each config through Run in a loop.
+func TestRunAllMatchesSerialSweep(t *testing.T) {
+	snaps := testSnaps(t, 3)
+	ks := []int{4, 8, 16}
+	cfgs := make([]Config, len(ks))
+	for i, k := range ks {
+		cfgs[i] = Config{K: k, Seed: 3}
+	}
+
+	var serial []*Result
+	for _, c := range cfgs {
+		r, err := Run(snaps, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial = append(serial, r)
+	}
+	concurrent, err := RunAll(snaps, cfgs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(concurrent) != len(serial) {
+		t.Fatalf("%d results, want %d", len(concurrent), len(serial))
+	}
+	for i := range serial {
+		if concurrent[i].K != serial[i].K {
+			t.Fatalf("result %d out of order: k=%d want %d", i, concurrent[i].K, serial[i].K)
+		}
+		for j := range serial[i].Rows {
+			if concurrent[i].Rows[j] != serial[i].Rows[j] {
+				t.Errorf("k=%d row %d: %+v != %+v", serial[i].K, j,
+					concurrent[i].Rows[j], serial[i].Rows[j])
+			}
+		}
+		if concurrent[i].Avg != serial[i].Avg {
+			t.Errorf("k=%d averages differ", serial[i].K)
+		}
+	}
+}
+
+// TestRunAllSpeedup measures the wall-clock win of the concurrent
+// sweep; the acceptance bar is >1.5x on >= 4 cores. Timing is retried
+// once to ride out scheduler noise on loaded hosts.
+func TestRunAllSpeedup(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skipf("%d cores; speedup bar needs >= 4", runtime.NumCPU())
+	}
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	snaps := testSnaps(t, 6)
+	ks := []int{4, 8, 16}
+	cfgs := make([]Config, len(ks))
+	for i, k := range ks {
+		// SerialLegs isolates the sweep-level speedup being measured.
+		cfgs[i] = Config{K: k, Seed: 4, SerialLegs: true}
+	}
+
+	measure := func() (float64, error) {
+		t0 := time.Now()
+		for _, c := range cfgs {
+			if _, err := Run(snaps, c); err != nil {
+				return 0, err
+			}
+		}
+		serialDur := time.Since(t0)
+		t1 := time.Now()
+		if _, err := RunAll(snaps, cfgs, 0); err != nil {
+			return 0, err
+		}
+		concDur := time.Since(t1)
+		t.Logf("serial %v, concurrent %v, speedup %.2fx",
+			serialDur, concDur, float64(serialDur)/float64(concDur))
+		return float64(serialDur) / float64(concDur), nil
+	}
+
+	best := 0.0
+	for attempt := 0; attempt < 2; attempt++ {
+		s, err := measure()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s > best {
+			best = s
+		}
+		if best > 1.5 {
+			return
+		}
+	}
+	t.Errorf("concurrent sweep speedup %.2fx, want > 1.5x", best)
+}
+
+func TestRunRecordsObsPhases(t *testing.T) {
+	snaps := testSnaps(t, 2)
+	col := obs.New()
+	if _, err := Run(snaps, Config{K: 4, Seed: 5, Obs: col}); err != nil {
+		t.Fatal(err)
+	}
+	r := col.Report()
+	got := map[string]obs.PhaseStat{}
+	for _, p := range r.Phases {
+		got[p.Name] = p
+	}
+	for _, name := range []string{"partition", "tree_induction", "metric_eval"} {
+		if got[name].Count == 0 {
+			t.Errorf("phase %q not recorded (report: %+v)", name, r.Phases)
+		}
+	}
+	// metric_eval runs once per leg per snapshot.
+	if got["metric_eval"].Count != int64(2*len(snaps)) {
+		t.Errorf("metric_eval count %d, want %d", got["metric_eval"].Count, 2*len(snaps))
 	}
 }
 

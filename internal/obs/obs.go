@@ -1,0 +1,178 @@
+// Package obs is the observability layer of the evaluation pipeline:
+// named wall-clock phase timers and monotonic counters that the
+// decomposition pipeline (partition, tree induction), the parallel
+// engine (global search, local search), and the measurement harness
+// (metric evaluation) report into, exported as a machine-readable JSON
+// report and a human table.
+//
+// A nil *Collector is valid everywhere and records nothing, so hot
+// paths thread a collector through unconditionally and pay one nil
+// check when observability is off. All methods are safe for concurrent
+// use; the engine's workers and the harness's measurement legs report
+// into one collector from many goroutines.
+//
+// Canonical phase names used across the repo (the per-phase breakdown
+// of one end-to-end experiment):
+//
+//	partition       multilevel multi-constraint partitioning (core step 2)
+//	tree_induction  guidance + descriptor decision trees (core steps 3, 5)
+//	global_search   engine phase 2: tree filtering + element shipping
+//	local_search    engine phase 3: narrow-phase detection
+//	metric_eval     harness Section 5.1 metric computation
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"text/tabwriter"
+	"time"
+)
+
+// Collector accumulates phase timings and counters. The zero value is
+// ready to use; so is nil (every method no-ops).
+type Collector struct {
+	mu       sync.Mutex
+	timers   map[string]*timer
+	counters map[string]int64
+}
+
+type timer struct {
+	count int64
+	total time.Duration
+	max   time.Duration
+}
+
+// New returns an empty collector.
+func New() *Collector { return &Collector{} }
+
+// Start begins timing one occurrence of the named phase and returns
+// the function that stops it. Usage: defer c.Start("partition")().
+func (c *Collector) Start(name string) func() {
+	if c == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { c.Observe(name, time.Since(t0)) }
+}
+
+// Observe records one completed occurrence of the named phase.
+func (c *Collector) Observe(name string, d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.timers == nil {
+		c.timers = map[string]*timer{}
+	}
+	t := c.timers[name]
+	if t == nil {
+		t = &timer{}
+		c.timers[name] = t
+	}
+	t.count++
+	t.total += d
+	if d > t.max {
+		t.max = d
+	}
+	c.mu.Unlock()
+}
+
+// Add increments the named counter by delta.
+func (c *Collector) Add(name string, delta int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.counters == nil {
+		c.counters = map[string]int64{}
+	}
+	c.counters[name] += delta
+	c.mu.Unlock()
+}
+
+// PhaseStat is one phase's aggregate in a Report. Count is the number
+// of observations (for phases run once per worker or once per
+// snapshot, the fan-out); Total sums wall-clock across observations,
+// so for phases timed inside concurrent workers it is aggregate busy
+// time, not elapsed time.
+type PhaseStat struct {
+	Name    string `json:"name"`
+	Count   int64  `json:"count"`
+	TotalNS int64  `json:"total_ns"`
+	AvgNS   int64  `json:"avg_ns"`
+	MaxNS   int64  `json:"max_ns"`
+}
+
+// CounterStat is one counter's value in a Report.
+type CounterStat struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Report is the exportable snapshot of a collector. Phases and
+// Counters are sorted by name so reports are deterministic and
+// diffable.
+type Report struct {
+	Phases   []PhaseStat   `json:"phases"`
+	Counters []CounterStat `json:"counters"`
+}
+
+// Report snapshots the collector. Safe to call while recording
+// continues; the snapshot is consistent.
+func (c *Collector) Report() Report {
+	var r Report
+	if c == nil {
+		return r
+	}
+	c.mu.Lock()
+	for name, t := range c.timers {
+		avg := int64(0)
+		if t.count > 0 {
+			avg = int64(t.total) / t.count
+		}
+		r.Phases = append(r.Phases, PhaseStat{
+			Name: name, Count: t.count,
+			TotalNS: int64(t.total), AvgNS: avg, MaxNS: int64(t.max),
+		})
+	}
+	for name, v := range c.counters {
+		r.Counters = append(r.Counters, CounterStat{Name: name, Value: v})
+	}
+	c.mu.Unlock()
+	sort.Slice(r.Phases, func(i, j int) bool { return r.Phases[i].Name < r.Phases[j].Name })
+	sort.Slice(r.Counters, func(i, j int) bool { return r.Counters[i].Name < r.Counters[j].Name })
+	return r
+}
+
+// WriteJSON emits the report as indented JSON (the schema documented
+// in README.md: {"phases":[{name,count,total_ns,avg_ns,max_ns}],
+// "counters":[{name,value}]}).
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteTable renders the report for humans.
+func (r Report) WriteTable(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(r.Phases) > 0 {
+		fmt.Fprintln(tw, "phase\tcount\ttotal\tavg\tmax")
+		for _, p := range r.Phases {
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\n", p.Name, p.Count,
+				time.Duration(p.TotalNS).Round(time.Microsecond),
+				time.Duration(p.AvgNS).Round(time.Microsecond),
+				time.Duration(p.MaxNS).Round(time.Microsecond))
+		}
+	}
+	if len(r.Counters) > 0 {
+		fmt.Fprintln(tw, "counter\tvalue\t\t\t")
+		for _, c := range r.Counters {
+			fmt.Fprintf(tw, "%s\t%d\t\t\t\n", c.Name, c.Value)
+		}
+	}
+	tw.Flush()
+}

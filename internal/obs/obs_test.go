@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *Collector
+	c.Start("x")()
+	c.Observe("x", time.Second)
+	c.Add("n", 3)
+	r := c.Report()
+	if len(r.Phases) != 0 || len(r.Counters) != 0 {
+		t.Errorf("nil collector recorded something: %+v", r)
+	}
+}
+
+func TestObserveAndAdd(t *testing.T) {
+	c := New()
+	c.Observe("phase", 2*time.Millisecond)
+	c.Observe("phase", 4*time.Millisecond)
+	c.Add("widgets", 5)
+	c.Add("widgets", 7)
+	r := c.Report()
+	if len(r.Phases) != 1 || len(r.Counters) != 1 {
+		t.Fatalf("report: %+v", r)
+	}
+	p := r.Phases[0]
+	if p.Name != "phase" || p.Count != 2 {
+		t.Errorf("phase: %+v", p)
+	}
+	if p.TotalNS != int64(6*time.Millisecond) || p.MaxNS != int64(4*time.Millisecond) {
+		t.Errorf("timings: %+v", p)
+	}
+	if p.AvgNS != int64(3*time.Millisecond) {
+		t.Errorf("avg: %d", p.AvgNS)
+	}
+	if r.Counters[0].Value != 12 {
+		t.Errorf("counter: %+v", r.Counters[0])
+	}
+}
+
+func TestStartStop(t *testing.T) {
+	c := New()
+	stop := c.Start("work")
+	time.Sleep(time.Millisecond)
+	stop()
+	r := c.Report()
+	if len(r.Phases) != 1 || r.Phases[0].TotalNS <= 0 {
+		t.Errorf("timer did not record: %+v", r)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Observe("p", time.Microsecond)
+				c.Add("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	r := c.Report()
+	if r.Phases[0].Count != 800 || r.Counters[0].Value != 800 {
+		t.Errorf("lost updates: %+v", r)
+	}
+}
+
+func TestReportSortedAndJSONSchema(t *testing.T) {
+	c := New()
+	c.Observe("zeta", time.Millisecond)
+	c.Observe("alpha", time.Millisecond)
+	c.Add("z_count", 1)
+	c.Add("a_count", 2)
+	r := c.Report()
+	if r.Phases[0].Name != "alpha" || r.Phases[1].Name != "zeta" {
+		t.Errorf("phases unsorted: %+v", r.Phases)
+	}
+	if r.Counters[0].Name != "a_count" {
+		t.Errorf("counters unsorted: %+v", r.Counters)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Phases []struct {
+			Name    string `json:"name"`
+			Count   int64  `json:"count"`
+			TotalNS int64  `json:"total_ns"`
+			AvgNS   int64  `json:"avg_ns"`
+			MaxNS   int64  `json:"max_ns"`
+		} `json:"phases"`
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("schema: %v\n%s", err, buf.String())
+	}
+	if len(decoded.Phases) != 2 || decoded.Phases[0].Name != "alpha" || decoded.Counters[1].Value != 1 {
+		t.Errorf("decoded: %+v", decoded)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	c := New()
+	c.Observe("partition", 3*time.Millisecond)
+	c.Add("pairs", 42)
+	var buf bytes.Buffer
+	c.Report().WriteTable(&buf)
+	out := buf.String()
+	for _, want := range []string{"phase", "partition", "counter", "pairs", "42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

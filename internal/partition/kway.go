@@ -40,8 +40,10 @@ func Partition(g *graph.Graph, opt Options) ([]int32, error) {
 }
 
 // parallelRBCutoff is the subgraph size above which the two recursive
-// bisection branches run concurrently.
-const parallelRBCutoff = 1 << 14
+// bisection branches run concurrently. It is a variable (not a const)
+// so tests can force the serial path on large graphs and assert that
+// the concurrent path returns identical labels.
+var parallelRBCutoff = 1 << 14
 
 // rb recursively bisects the subgraph sub (whose vertex i is original
 // vertex ids[i]) into k parts labeled base..base+k-1.

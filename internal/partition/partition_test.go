@@ -53,6 +53,49 @@ func checkPartition(t *testing.T, g *graph.Graph, labels []int32, k int, eps flo
 	}
 }
 
+// TestPartitionDeterministicAcrossRBCutoff: recursive bisection spawns
+// concurrent branches only above parallelRBCutoff; the labels for a
+// fixed seed must be identical whether the graph is partitioned above
+// the cutoff (concurrent branches) or with the cutoff raised out of
+// reach (strictly serial recursion), and stable across repeated
+// concurrent runs.
+func TestPartitionDeterministicAcrossRBCutoff(t *testing.T) {
+	// 135*135 = 18225 vertices > 1<<14, so the root split runs its
+	// branches concurrently at the default cutoff.
+	g := grid(135, 135, 2)
+	if g.NV() <= parallelRBCutoff {
+		t.Fatalf("test graph too small: %d vertices, cutoff %d", g.NV(), parallelRBCutoff)
+	}
+	opt := Options{K: 8, Seed: 42, Imbalance: 0.05}
+
+	parallel1, err := Partition(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel2, err := Partition(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	saved := parallelRBCutoff
+	parallelRBCutoff = g.NV() + 1 // force every branch serial
+	serial, err := Partition(g, opt)
+	parallelRBCutoff = saved
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for v := range serial {
+		if parallel1[v] != parallel2[v] {
+			t.Fatalf("vertex %d: concurrent runs disagree (%d vs %d)", v, parallel1[v], parallel2[v])
+		}
+		if parallel1[v] != serial[v] {
+			t.Fatalf("vertex %d: concurrent %d != serial %d", v, parallel1[v], serial[v])
+		}
+	}
+	checkPartition(t, g, parallel1, opt.K, opt.Imbalance)
+}
+
 func TestPartitionSingle(t *testing.T) {
 	g := grid(10, 10, 1)
 	labels, err := Partition(g, Options{K: 1, Seed: 1})

@@ -1,0 +1,118 @@
+// Package pool provides the small bounded-concurrency substrate the
+// evaluation pipeline runs on: fan a fixed set of independent jobs out
+// over at most W workers, capture panics as errors instead of killing
+// the process, and return results in submission order so concurrent
+// execution is observationally identical to a serial loop.
+//
+// The package is deliberately tiny — two entry points — because every
+// layer above it (the harness k-sweep, the per-snapshot measurement
+// legs, future sharded backends) needs exactly this contract:
+// deterministic outputs, bounded parallelism, no lost failures.
+package pool
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Workers resolves a worker-count request: n > 0 is used as given,
+// anything else selects runtime.GOMAXPROCS(0).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// A PanicError wraps a panic recovered from a pool job.
+type PanicError struct {
+	Value any    // the value passed to panic
+	Stack []byte // stack trace captured at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("pool: job panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// Map runs fn(0..n-1) on at most Workers(workers) goroutines and
+// returns the results in index order: out[i] = fn(i). All n jobs run
+// even after a failure (jobs are independent by contract); the first
+// error in index order is returned. A panicking job is reported as a
+// *PanicError rather than crashing the process.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	run(workers, n, func(i int) {
+		out[i], errs[i] = safely(fn, i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// Run executes the given functions concurrently on at most
+// Workers(workers) goroutines and waits for all of them. The first
+// error in argument order (panics included, as *PanicError) is
+// returned.
+func Run(workers int, fns ...func() error) error {
+	errs := make([]error, len(fns))
+	run(workers, len(fns), func(i int) {
+		_, errs[i] = safely(func(i int) (struct{}, error) {
+			return struct{}{}, fns[i]()
+		}, i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// safely invokes fn(i), converting a panic into a *PanicError.
+func safely[T any](fn func(i int) (T, error), i int) (out T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
+
+// run is the shared scheduler: n jobs, min(Workers(workers), n)
+// goroutines pulling indices from a channel. job must not panic
+// (callers wrap with safely) and records its own result at its index,
+// which is what makes the output ordering deterministic.
+func run(workers, n int, job func(i int)) {
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				job(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

@@ -1,0 +1,152 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		out, err := Map(workers, 100, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	_, err := Map(workers, 50, func(i int) (struct{}, error) {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		runtime.Gosched()
+		cur.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent jobs, cap %d", p, workers)
+	}
+}
+
+func TestMapFirstErrorByIndex(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	_, err := Map(4, 10, func(i int) (int, error) {
+		switch i {
+		case 3:
+			return 0, errA
+		case 7:
+			return 0, errB
+		}
+		return i, nil
+	})
+	if err != errA {
+		t.Errorf("got %v, want first error in index order", err)
+	}
+}
+
+func TestMapRunsAllJobsDespiteError(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Map(2, 20, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("error lost")
+	}
+	if n := ran.Load(); n != 20 {
+		t.Errorf("ran %d of 20 jobs", n)
+	}
+}
+
+func TestMapPanicCapture(t *testing.T) {
+	out, err := Map(4, 8, func(i int) (int, error) {
+		if i == 5 {
+			panic(fmt.Sprintf("job %d exploded", i))
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want *PanicError", err)
+	}
+	if pe.Value != "job 5 exploded" || len(pe.Stack) == 0 {
+		t.Errorf("panic payload: %+v", pe.Value)
+	}
+	// Healthy jobs still produced their results.
+	if out[7] != 7 {
+		t.Errorf("out[7] = %d", out[7])
+	}
+}
+
+func TestRunConcurrentAndOrdered(t *testing.T) {
+	var mu sync.Mutex
+	got := map[string]bool{}
+	err := Run(0,
+		func() error { mu.Lock(); got["a"] = true; mu.Unlock(); return nil },
+		func() error { mu.Lock(); got["b"] = true; mu.Unlock(); return nil },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got["a"] || !got["b"] {
+		t.Errorf("jobs missed: %v", got)
+	}
+}
+
+func TestRunErrorAndPanic(t *testing.T) {
+	errX := errors.New("x")
+	if err := Run(2, func() error { return nil }, func() error { return errX }); err != errX {
+		t.Errorf("got %v", err)
+	}
+	err := Run(2, func() error { panic("bad") }, func() error { return errX })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Errorf("first-by-order error should be the panic, got %v", err)
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	if err := Run(4); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Map(4, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty map: %v %v", out, err)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(5) != 5 {
+		t.Error("explicit count ignored")
+	}
+	if Workers(0) != runtime.GOMAXPROCS(0) || Workers(-1) != runtime.GOMAXPROCS(0) {
+		t.Error("default should be GOMAXPROCS")
+	}
+}
