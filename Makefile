@@ -1,12 +1,12 @@
 # Verification targets (referenced from README.md). `make check` is
-# the gate every PR runs: static analysis plus the full test suite
-# under the race detector, which exercises the concurrent harness
-# (RunAll k-sweep + per-snapshot measurement legs), the parallel
-# engine workers, and the parallel recursive-bisection partitioner.
+# the gate every PR runs: static analysis, the full test suite under
+# the race detector (which exercises the concurrent harness, the
+# parallel engine workers, and the parallel recursive-bisection
+# partitioner), and a short fuzz smoke per native fuzz target.
 
-.PHONY: check vet test race bench
+.PHONY: check vet test race fuzz-smoke bench
 
-check: vet race
+check: vet race fuzz-smoke
 
 vet:
 	go vet ./...
@@ -15,7 +15,17 @@ test:
 	go test ./...
 
 race:
-	go test -race ./...
+	go test -race -count=1 ./...
 
+# 10s per target; -fuzzminimizetime keeps a late-breaking interesting
+# input from eating the whole budget in the silent minimizer.
+fuzz-smoke:
+	go test -run='^$$' -fuzz=FuzzKWay -fuzztime=10s -fuzzminimizetime=2s ./internal/partition
+	go test -run='^$$' -fuzz=FuzzTreeDeserialize -fuzztime=10s -fuzzminimizetime=2s ./internal/dtree
+
+# Microbenchmarks plus the serial-vs-parallel KWay comparison; the
+# latter rewrites BENCH_partition.json (checked in for provenance —
+# numbers depend on GOMAXPROCS, recorded in the file).
 bench:
-	go test -bench=. -benchmem ./...
+	go test -bench=. -benchmem ./internal/partition
+	go run ./cmd/partition -bench-json BENCH_partition.json -k 16

@@ -9,17 +9,22 @@
 //	partition -graph FILE.graph -k N [-method rb|direct]   # raw METIS graph
 //	partition ... -phases -obs rep.json                    # per-phase timings
 //	partition ... -cpuprofile cpu.pprof -memprofile mem.pprof
+//	partition -bench-json BENCH_partition.json -k 16       # serial-vs-parallel KWay bench
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/mesh"
+	"repro/internal/meshgen"
 	"repro/internal/metrics"
 	"repro/internal/mlrcb"
 	"repro/internal/obs"
@@ -45,6 +50,9 @@ func main() {
 		obsPath   = flag.String("obs", "", "write the per-phase observability report (JSON) to this file")
 		cpuProf   = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a runtime/pprof heap profile to this file")
+		benchJSON = flag.String("bench-json", "", "run the serial-vs-parallel KWay benchmark and write the JSON report to this file")
+		benchRuns = flag.Int("bench-runs", 3, "repetitions per benchmark leg (best time wins)")
+		workers   = flag.Int("workers", 0, "worker-pool size for the parallel leg (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -80,6 +88,12 @@ func main() {
 		}
 	}
 
+	if *benchJSON != "" {
+		if err := benchPartition(*graphPath, *meshPath, *k, *seed, *imbalance, *workers, *benchRuns, *benchJSON); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *graphPath != "" {
 		partitionGraphFile(*graphPath, *k, *method, *seed, *imbalance, col)
 		reportObs()
@@ -134,6 +148,151 @@ func main() {
 		log.Fatalf("unknown -algo %q (want mcmldt or mlrcb)", *algo)
 	}
 	reportObs()
+}
+
+// benchLeg is one side of the serial-vs-parallel comparison.
+type benchLeg struct {
+	BestNS  int64 `json:"best_ns"`
+	EdgeCut int64 `json:"edgecut"`
+	Tasks   int64 `json:"rb_tasks,omitempty"`
+	MaxWork int64 `json:"rb_workers_max,omitempty"`
+}
+
+// benchReport is the BENCH_partition.json schema.
+type benchReport struct {
+	Graph struct {
+		NV, NE, NCon int
+		Source       string `json:"source"`
+	} `json:"graph"`
+	K               int      `json:"k"`
+	Seed            int64    `json:"seed"`
+	Runs            int      `json:"runs"`
+	GOMAXPROCS      int      `json:"gomaxprocs"`
+	Workers         int      `json:"workers"`
+	Serial          benchLeg `json:"serial"`
+	Parallel        benchLeg `json:"parallel"`
+	LabelsIdentical bool     `json:"labels_identical"`
+	Speedup         float64  `json:"speedup"`
+}
+
+// benchGraph loads the benchmark graph: an explicit -graph file, the
+// nodal graph of an explicit -mesh, or (default) the projectile scene
+// at Refine=2 — large enough (~60k nodes) to cross the parallel
+// recursion cutoff of 1<<14.
+func benchGraph(graphPath, meshPath string) (*graph.Graph, string, error) {
+	switch {
+	case graphPath != "":
+		f, err := os.Open(graphPath)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		g, err := graph.ReadMetis(f)
+		return g, graphPath, err
+	case meshPath != "":
+		m, err := mesh.LoadFile(meshPath)
+		if err != nil {
+			return nil, "", err
+		}
+		return m.NodalGraph(mesh.DefaultNodalOptions()), meshPath, nil
+	default:
+		cfg := meshgen.DefaultScene()
+		cfg.Refine = 2
+		m, si, err := meshgen.ProjectileScene(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		meshgen.DesignateContact(m, si)
+		return m.NodalGraph(mesh.DefaultNodalOptions()), "meshgen:projectile-refine2", nil
+	}
+}
+
+// benchPartition times the strictly serial KWay recursion against the
+// pooled one on the same graph and writes a JSON report. Labels must
+// come out byte-identical; the report records whether they did.
+func benchPartition(graphPath, meshPath string, k int, seed int64, imbalance float64, workers, runs int, outPath string) error {
+	g, source, err := benchGraph(graphPath, meshPath)
+	if err != nil {
+		return err
+	}
+	if runs < 1 {
+		runs = 1
+	}
+	fmt.Printf("bench graph: %d vertices, %d edges, %d constraints (%s)\n", g.NV(), g.NE(), g.NCon, source)
+
+	var rep benchReport
+	rep.Graph.NV, rep.Graph.NE, rep.Graph.NCon, rep.Graph.Source = g.NV(), g.NE(), g.NCon, source
+	rep.K, rep.Seed, rep.Runs = k, seed, runs
+	rep.GOMAXPROCS, rep.Workers = runtime.GOMAXPROCS(0), workers
+
+	leg := func(opt partition.Options) (benchLeg, []int32, error) {
+		var l benchLeg
+		var labels []int32
+		for i := 0; i < runs; i++ {
+			col := obs.New()
+			opt.Obs = col
+			t0 := time.Now()
+			out, err := partition.KWay(g, opt)
+			if err != nil {
+				return l, nil, err
+			}
+			if ns := time.Since(t0).Nanoseconds(); l.BestNS == 0 || ns < l.BestNS {
+				l.BestNS = ns
+			}
+			labels = out
+			for _, c := range col.Report().Counters {
+				switch c.Name {
+				case "partition_rb_tasks":
+					l.Tasks = c.Value
+				case "partition_rb_workers_max":
+					l.MaxWork = c.Value
+				}
+			}
+		}
+		l.EdgeCut = partition.EdgeCut(g, labels)
+		return l, labels, nil
+	}
+
+	base := partition.Options{K: k, Seed: seed, Imbalance: imbalance, Workers: workers}
+	serialOpt := base
+	serialOpt.ParallelCutoff = -1
+	var serialLabels, parLabels []int32
+	if rep.Serial, serialLabels, err = leg(serialOpt); err != nil {
+		return err
+	}
+	if rep.Parallel, parLabels, err = leg(base); err != nil {
+		return err
+	}
+
+	rep.LabelsIdentical = true
+	for v := range serialLabels {
+		if serialLabels[v] != parLabels[v] {
+			rep.LabelsIdentical = false
+			break
+		}
+	}
+	if rep.Parallel.BestNS > 0 {
+		rep.Speedup = float64(rep.Serial.BestNS) / float64(rep.Parallel.BestNS)
+	}
+
+	fmt.Printf("serial   best %12d ns  edgecut %d\n", rep.Serial.BestNS, rep.Serial.EdgeCut)
+	fmt.Printf("parallel best %12d ns  edgecut %d  (tasks %d, peak workers %d)\n",
+		rep.Parallel.BestNS, rep.Parallel.EdgeCut, rep.Parallel.Tasks, rep.Parallel.MaxWork)
+	fmt.Printf("speedup %.2fx on GOMAXPROCS=%d, labels identical: %v\n",
+		rep.Speedup, rep.GOMAXPROCS, rep.LabelsIdentical)
+	if !rep.LabelsIdentical {
+		return fmt.Errorf("benchmark violated the determinism contract: serial and parallel labels differ")
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
 }
 
 // partitionGraphFile partitions a raw METIS graph file and prints the

@@ -128,7 +128,7 @@ func Decompose(m *mesh.Mesh, cfg Config) (*Decomposition, error) {
 	cfg = cfg.withDefaults(m.NumNodes())
 	g := m.NodalGraph(cfg.Nodal)
 
-	popt := partition.Options{K: cfg.K, Seed: cfg.Seed, Imbalance: cfg.Imbalance}
+	popt := partition.Options{K: cfg.K, Seed: cfg.Seed, Imbalance: cfg.Imbalance, Obs: cfg.Obs}
 	stopPart := cfg.Obs.Start("partition")
 	var raw []int32
 	var err error
@@ -180,7 +180,7 @@ func Redecompose(m *mesh.Mesh, prevLabels []int32, cfg Config) (*Decomposition, 
 	cfg = cfg.withDefaults(m.NumNodes())
 	g := m.NodalGraph(cfg.Nodal)
 
-	popt := partition.Options{K: cfg.K, Seed: cfg.Seed, Imbalance: cfg.Imbalance}
+	popt := partition.Options{K: cfg.K, Seed: cfg.Seed, Imbalance: cfg.Imbalance, Obs: cfg.Obs}
 	stopPart := cfg.Obs.Start("partition")
 	labels := append([]int32(nil), prevLabels...)
 	migrated, err := partition.Repartition(g, labels, partition.RepartitionOptions{Options: popt})

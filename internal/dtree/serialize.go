@@ -132,9 +132,15 @@ func ReadTree(r io.Reader) (*Tree, error) {
 	if err == nil && nn > maxCount {
 		return nil, fmt.Errorf("dtree: implausible node count %d", nn)
 	}
-	t.Nodes = make([]Node, nn)
-	for i := range t.Nodes {
-		n := &t.Nodes[i]
+	// The counts are attacker-controlled (this is the broadcast wire
+	// format), so grow the slices as records actually decode instead
+	// of allocating nn records up front: a corrupt header claiming
+	// 2^28 nodes over a 10-byte stream must fail on truncation, not
+	// allocate gigabytes first. The loops stop at the first read
+	// error.
+	t.Nodes = make([]Node, 0, min(int(nn), 4096))
+	for i := uint32(0); i < nn && err == nil; i++ {
+		var n Node
 		n.SplitDim = int8(getByte())
 		n.Pure = getByte() != 0
 		n.Cut = math.Float64frombits(get64())
@@ -143,26 +149,39 @@ func ReadTree(r io.Reader) (*Tree, error) {
 		n.Part = int32(get32())
 		n.Lo = int32(get32())
 		n.Hi = int32(get32())
+		if err == nil {
+			t.Nodes = append(t.Nodes, n)
+		}
 	}
 	np := get32()
 	if err == nil && np > maxCount {
 		return nil, fmt.Errorf("dtree: implausible perm length %d", np)
 	}
-	t.Perm = make([]int32, np)
-	for i := range t.Perm {
-		t.Perm[i] = int32(get32())
+	t.Perm = make([]int32, 0, min(int(np), 4096))
+	for i := uint32(0); i < np && err == nil; i++ {
+		p := int32(get32())
+		if err == nil {
+			t.Perm = append(t.Perm, p)
+		}
 	}
 	if err != nil {
 		return nil, fmt.Errorf("dtree: decode: %w", err)
 	}
 
-	// Structural validation + LeafOf reconstruction.
+	// Structural validation + LeafOf reconstruction. Leaf ranges in a
+	// valid tree are disjoint slices of Perm, so their lengths sum to at
+	// most len(Perm); enforcing that keeps reconstruction linear even
+	// for hostile inputs where every node claims the full range.
 	t.LeafOf = make([]int32, len(t.Perm))
+	covered := 0
 	for i := range t.Nodes {
 		n := &t.Nodes[i]
 		if n.IsLeaf() {
 			if n.Lo < 0 || n.Hi < n.Lo || int(n.Hi) > len(t.Perm) {
 				return nil, fmt.Errorf("dtree: leaf %d has range [%d,%d)", i, n.Lo, n.Hi)
+			}
+			if covered += int(n.Hi - n.Lo); covered > len(t.Perm) {
+				return nil, fmt.Errorf("dtree: leaf ranges overlap at node %d", i)
 			}
 			for _, p := range t.Perm[n.Lo:n.Hi] {
 				if p < 0 || int(p) >= len(t.Perm) {

@@ -8,7 +8,7 @@ import (
 	"repro/internal/geom"
 )
 
-func buildSample(t *testing.T, n, k int, seed int64) (*Tree, []geom.Point, []int32) {
+func buildSample(t testing.TB, n, k int, seed int64) (*Tree, []geom.Point, []int32) {
 	t.Helper()
 	r := rand.New(rand.NewSource(seed))
 	pts := make([]geom.Point, n)
@@ -92,6 +92,45 @@ func TestReadTreeRejectsGarbage(t *testing.T) {
 	if _, err := ReadTree(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
 		t.Error("accepted truncated stream")
 	}
+}
+
+// FuzzTreeDeserialize feeds arbitrary bytes to ReadTree: corrupt or
+// truncated input must come back as an error — never a panic, runaway
+// allocation, or structurally invalid tree. Anything that decodes
+// successfully must survive a re-encode/re-decode round trip with its
+// shape intact (the broadcast wire format is self-describing).
+func FuzzTreeDeserialize(f *testing.F) {
+	tree, _, _ := buildSample(f, 40, 3, 11)
+	var buf bytes.Buffer
+	if _, err := tree.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:14])          // header only
+	f.Add(buf.Bytes()[:buf.Len()/2]) // truncated mid-nodes
+	f.Add([]byte("ERTD"))            // magic, nothing else
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadTree(bytes.NewReader(data))
+		if err != nil {
+			if got != nil {
+				t.Fatal("ReadTree returned a tree alongside an error")
+			}
+			return
+		}
+		var out bytes.Buffer
+		if _, err := got.WriteTo(&out); err != nil {
+			t.Fatalf("re-encode of an accepted tree failed: %v", err)
+		}
+		again, err := ReadTree(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip of an accepted tree rejected: %v", err)
+		}
+		if again.NumNodes() != got.NumNodes() || len(again.Perm) != len(got.Perm) ||
+			again.K != got.K || again.Dim != got.Dim {
+			t.Fatal("round trip changed the tree's shape")
+		}
+	})
 }
 
 func TestReadTreeRejectsCorruptStructure(t *testing.T) {

@@ -37,6 +37,7 @@ type Collector struct {
 	mu       sync.Mutex
 	timers   map[string]*timer
 	counters map[string]int64
+	maxes    map[string]int64
 }
 
 type timer struct {
@@ -93,6 +94,23 @@ func (c *Collector) Add(name string, delta int64) {
 	c.mu.Unlock()
 }
 
+// Max records the maximum of v seen under the named gauge (e.g. the
+// peak number of busy partitioner workers). Gauges are reported
+// alongside counters.
+func (c *Collector) Max(name string, v int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.maxes == nil {
+		c.maxes = map[string]int64{}
+	}
+	if v > c.maxes[name] {
+		c.maxes[name] = v
+	}
+	c.mu.Unlock()
+}
+
 // PhaseStat is one phase's aggregate in a Report. Count is the number
 // of observations (for phases run once per worker or once per
 // snapshot, the fan-out); Total sums wall-clock across observations,
@@ -139,6 +157,9 @@ func (c *Collector) Report() Report {
 		})
 	}
 	for name, v := range c.counters {
+		r.Counters = append(r.Counters, CounterStat{Name: name, Value: v})
+	}
+	for name, v := range c.maxes {
 		r.Counters = append(r.Counters, CounterStat{Name: name, Value: v})
 	}
 	c.mu.Unlock()

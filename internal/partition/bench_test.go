@@ -11,7 +11,7 @@ func BenchmarkBisect(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rng := rand.New(rand.NewSource(int64(i)))
-		bisect(g, 0.5, 0.03, opt, rng)
+		bisect(g, 0.5, 0.03, opt, rng, nil, 0)
 	}
 }
 
@@ -73,6 +73,45 @@ func BenchmarkRepartition(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkKWayParallel compares the strictly serial recursion against
+// the pooled one on a graph above the default cutoff (45k vertices vs
+// 1<<14). Run with -cpu to sweep GOMAXPROCS; on a single-core machine
+// the parallel leg measures pure pool overhead, which must stay small.
+func BenchmarkKWayParallel(b *testing.B) {
+	g := grid(150, 150, 2)
+	serialOpt := Options{K: 16, Seed: 1, Imbalance: 0.05, ParallelCutoff: -1}
+	parOpt := Options{K: 16, Seed: 1, Imbalance: 0.05}
+
+	serial, err := KWay(g, serialOpt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	par, err := KWay(g, parOpt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for v := range serial {
+		if serial[v] != par[v] {
+			b.Fatalf("vertex %d: parallel label %d != serial %d", v, par[v], serial[v])
+		}
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := KWay(g, serialOpt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := KWay(g, parOpt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkCoarsen(b *testing.B) {

@@ -1,9 +1,12 @@
 package partition
 
 import (
+	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // bisection holds the working state of a 2-way partition of a graph
@@ -218,17 +221,38 @@ func (b *bisection) computeCut() {
 	b.cut = cut
 }
 
+// startPhase times one multilevel phase of a bisection, recording the
+// duration under both the aggregate name and a per-depth breakdown
+// (<name>_d<depth>) so the phase profile of the recursion tree is
+// visible in the observability report. A nil collector costs one
+// comparison and no allocation.
+func startPhase(col *obs.Collector, name string, depth int) func() {
+	if col == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() {
+		d := time.Since(t0)
+		col.Observe(name, d)
+		col.Observe(fmt.Sprintf("%s_d%d", name, depth), d)
+	}
+}
+
 // bisect computes a multilevel 2-way partition of g with left-side
 // fraction fracLeft and per-constraint tolerance eps, returning the
-// side of every vertex and the edge cut.
-func bisect(g *graph.Graph, fracLeft, eps float64, opt Options, rng *rand.Rand) ([]int8, int64) {
+// side of every vertex and the edge cut. col and depth only feed the
+// phase timers; they never influence the partition.
+func bisect(g *graph.Graph, fracLeft, eps float64, opt Options, rng *rand.Rand, col *obs.Collector, depth int) ([]int8, int64) {
 	if g.NV() == 0 {
 		return nil, 0
 	}
+	stopCoarsen := startPhase(col, "rb_coarsen", depth)
 	levels := coarsen(g, opt.CoarsenTo, rng)
 	coarsest := levels[len(levels)-1].g
+	stopCoarsen()
 
 	// Initial partition at the coarsest level: several GGG trials.
+	stopInit := startPhase(col, "rb_initcut", depth)
 	best := newBisection(coarsest, fracLeft, eps)
 	bestScore := trialScore(best)
 	trial := newBisection(coarsest, fracLeft, eps)
@@ -244,8 +268,10 @@ func bisect(g *graph.Graph, fracLeft, eps float64, opt Options, rng *rand.Rand) 
 			best.cut = trial.cut
 		}
 	}
+	stopInit()
 
 	// Project back through the hierarchy, refining at each level.
+	stopRefine := startPhase(col, "rb_refine", depth)
 	where := best.where
 	for li := len(levels) - 2; li >= 0; li-- {
 		lv := levels[li]
@@ -270,6 +296,7 @@ func bisect(g *graph.Graph, fracLeft, eps float64, opt Options, rng *rand.Rand) 
 		refineFM(b, opt.RefineIters, rng)
 		where = b.where
 	}
+	stopRefine()
 
 	// Recompute final cut on the original graph.
 	fb := newBisection(g, fracLeft, eps)

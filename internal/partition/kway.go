@@ -1,17 +1,34 @@
 package partition
 
 import (
+	"context"
 	"math/rand"
-	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/pool"
 )
 
 // Partition computes a k-way multi-constraint partitioning of g by
 // multilevel recursive bisection followed by a direct k-way
 // refinement/balancing pass. The returned labels are in [0, opt.K).
 // Results are deterministic for a fixed Options.Seed.
+//
+// Partition is the historical name; it is KWay.
 func Partition(g *graph.Graph, opt Options) ([]int32, error) {
+	return KWay(g, opt)
+}
+
+// KWay is the k-way recursive-bisection partitioner. The two children
+// of every bisection above the parallel cutoff run as independent
+// tasks on a pool.Group worker pool; below the cutoff the recursion
+// stays on the calling goroutine so small subtrees pay no scheduling
+// overhead. Each subtree derives its RNG seed from its position in
+// the bisection tree and writes to a disjoint range of the label
+// slice, so the output is bit-identical to the strictly serial
+// recursion for every worker count and cutoff. A panic in one branch
+// cancels its sibling subtree's queued tasks and is returned as an
+// error instead of crashing the process.
+func KWay(g *graph.Graph, opt Options) ([]int32, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
@@ -31,33 +48,73 @@ func Partition(g *graph.Graph, opt Options) ([]int32, error) {
 	if epsBis < 0.015 {
 		epsBis = 0.015
 	}
-	var wg sync.WaitGroup
-	rb(g, ids, opt.K, 0, labels, epsBis, opt, opt.Seed, &wg)
-	wg.Wait()
+
+	cutoff := rbCutoff(opt)
+	if g.NV() < cutoff {
+		// The whole tree is below the cutoff: plain serial recursion,
+		// no workers spawned at all.
+		if err := rb(context.Background(), nil, g, ids, opt.K, 0, labels, epsBis, opt, opt.Seed, 0, cutoff); err != nil {
+			return nil, err
+		}
+	} else {
+		grp := pool.NewGroup(context.Background(), opt.Workers)
+		grp.Submit(func(ctx context.Context) error {
+			return rb(ctx, grp, g, ids, opt.K, 0, labels, epsBis, opt, opt.Seed, 0, cutoff)
+		})
+		err := grp.Wait()
+		if st := grp.Stats(); opt.Obs != nil {
+			opt.Obs.Add("partition_rb_tasks", st.Tasks)
+			opt.Obs.Max("partition_rb_workers_max", int64(st.MaxWorkers))
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	RefineKWay(g, labels, opt)
 	return labels, nil
 }
 
-// parallelRBCutoff is the subgraph size above which the two recursive
-// bisection branches run concurrently. It is a variable (not a const)
-// so tests can force the serial path on large graphs and assert that
-// the concurrent path returns identical labels.
+// parallelRBCutoff is the default subgraph size above which the two
+// recursive bisection branches run as concurrent pool tasks. It is a
+// variable (not a const) so tests can force the serial path on large
+// graphs — or the concurrent path on small ones — and assert that
+// both return identical labels. Options.ParallelCutoff overrides it
+// per call.
 var parallelRBCutoff = 1 << 14
 
+// rbCutoff resolves the effective parallel cutoff for opt.
+func rbCutoff(opt Options) int {
+	switch {
+	case opt.ParallelCutoff > 0:
+		return opt.ParallelCutoff
+	case opt.ParallelCutoff < 0:
+		return int(^uint(0) >> 1) // never parallel
+	default:
+		return parallelRBCutoff
+	}
+}
+
 // rb recursively bisects the subgraph sub (whose vertex i is original
-// vertex ids[i]) into k parts labeled base..base+k-1.
-func rb(sub *graph.Graph, ids []int32, k, base int, labels []int32, eps float64, opt Options, seed int64, wg *sync.WaitGroup) {
+// vertex ids[i]) into k parts labeled base..base+k-1, forking the left
+// child onto grp when sub is large enough. grp == nil means strictly
+// serial. Label writes of the two children are disjoint by
+// construction, and each child's seed depends only on its path from
+// the root, so scheduling cannot influence the result.
+func rb(ctx context.Context, grp *pool.Group, sub *graph.Graph, ids []int32, k, base int, labels []int32, eps float64, opt Options, seed int64, depth, cutoff int) error {
+	if err := ctx.Err(); err != nil {
+		return err // a sibling branch failed; stop early
+	}
 	if k == 1 {
 		for _, v := range ids {
 			labels[v] = int32(base)
 		}
-		return
+		return nil
 	}
 	rng := rand.New(rand.NewSource(seed))
 	kL := (k + 1) / 2
 	fracL := float64(kL) / float64(k)
-	where, _ := bisect(sub, fracL, eps, opt, rng)
+	where, _ := bisect(sub, fracL, eps, opt, rng, opt.Obs, depth)
 
 	var leftIDs, rightIDs []int32
 	var leftLocal, rightLocal []int32
@@ -75,15 +132,10 @@ func rb(sub *graph.Graph, ids []int32, k, base int, labels []int32, eps float64,
 
 	leftSeed := seed*1000003 + 1
 	rightSeed := seed*1000003 + 2
-	if sub.NV() >= parallelRBCutoff {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			rb(left, leftIDs, kL, base, labels, eps, opt, leftSeed, wg)
-		}()
-		rb(right, rightIDs, k-kL, base+kL, labels, eps, opt, rightSeed, wg)
-		return
+	if err := grp.Fork(sub.NV(), cutoff, func(ctx context.Context) error {
+		return rb(ctx, grp, left, leftIDs, kL, base, labels, eps, opt, leftSeed, depth+1, cutoff)
+	}); err != nil {
+		return err
 	}
-	rb(left, leftIDs, kL, base, labels, eps, opt, leftSeed, wg)
-	rb(right, rightIDs, k-kL, base+kL, labels, eps, opt, rightSeed, wg)
+	return rb(ctx, grp, right, rightIDs, k-kL, base+kL, labels, eps, opt, rightSeed, depth+1, cutoff)
 }

@@ -4,7 +4,71 @@ import (
 	"math/rand"
 
 	"repro/internal/graph"
+	"repro/internal/pool"
 )
+
+// parallelEvalCutoff is the vertex count above which the read-only
+// evaluation sweeps (per-partition weight accumulation, edge-cut
+// recomputation, imbalance reporting) run chunked over the worker
+// pool. The sweeps reduce with exact integer addition into
+// chunk-local accumulators merged in chunk order, so the parallel
+// result is identical to the serial one. A variable so tests can
+// force either path.
+var parallelEvalCutoff = 1 << 15
+
+// chunkRange returns chunk i of [0, n) split into `chunks` contiguous
+// near-equal ranges.
+func chunkRange(n, chunks, i int) (lo, hi int) {
+	return n * i / chunks, n * (i + 1) / chunks
+}
+
+// accumPartitionWeights computes per-partition weight vectors and
+// vertex counts under labels, in parallel above parallelEvalCutoff.
+func accumPartitionWeights(g *graph.Graph, labels []int32, k int) ([][]int64, []int) {
+	nv, ncon := g.NV(), g.NCon
+	pw := make([][]int64, k)
+	for p := range pw {
+		pw[p] = make([]int64, ncon)
+	}
+	cnt := make([]int, k)
+	workers := pool.Workers(0)
+	if nv < parallelEvalCutoff || workers < 2 {
+		for v := 0; v < nv; v++ {
+			w := g.Weights(v)
+			for j, wj := range w {
+				pw[labels[v]][j] += int64(wj)
+			}
+			cnt[labels[v]]++
+		}
+		return pw, cnt
+	}
+	type local struct {
+		pw  []int64 // k*ncon, partition-major
+		cnt []int
+	}
+	parts, _ := pool.Map(workers, workers, func(i int) (local, error) {
+		lo, hi := chunkRange(nv, workers, i)
+		l := local{pw: make([]int64, k*ncon), cnt: make([]int, k)}
+		for v := lo; v < hi; v++ {
+			p := int(labels[v])
+			w := g.Weights(v)
+			for j, wj := range w {
+				l.pw[p*ncon+j] += int64(wj)
+			}
+			l.cnt[p]++
+		}
+		return l, nil
+	})
+	for _, l := range parts {
+		for p := 0; p < k; p++ {
+			for j := 0; j < ncon; j++ {
+				pw[p][j] += l.pw[p*ncon+j]
+			}
+			cnt[p] += l.cnt[p]
+		}
+	}
+	return pw, cnt
+}
 
 // kwayState tracks a k-way partition's per-partition weight vectors.
 type kwayState struct {
@@ -20,18 +84,7 @@ type kwayState struct {
 
 func newKwayState(g *graph.Graph, labels []int32, k int, eps float64) *kwayState {
 	s := &kwayState{g: g, labels: labels, k: k, total: g.TotalWeights()}
-	s.pw = make([][]int64, k)
-	for p := range s.pw {
-		s.pw[p] = make([]int64, g.NCon)
-	}
-	s.cnt = make([]int, k)
-	for v := 0; v < g.NV(); v++ {
-		w := g.Weights(v)
-		for j, wj := range w {
-			s.pw[labels[v]][j] += int64(wj)
-		}
-		s.cnt[labels[v]]++
-	}
+	s.pw, s.cnt = accumPartitionWeights(g, labels, k)
 	s.caps = make([]int64, g.NCon)
 	s.avg = make([]float64, g.NCon)
 	for j := range s.caps {
@@ -111,6 +164,7 @@ func RefineKWay(g *graph.Graph, labels []int32, opt Options) {
 	s := newKwayState(g, labels, opt.K, opt.Imbalance)
 	rng := rand.New(rand.NewSource(opt.Seed + 7919))
 
+	s.fillEmpty()
 	for it := 0; it < opt.RefineIters; it++ {
 		if s.greedyPass(rng) == 0 {
 			break
@@ -121,6 +175,52 @@ func RefineKWay(g *graph.Graph, labels []int32, opt Options) {
 	// each keeps quality without looping forever.
 	s.greedyPass(rng)
 	s.balance(rng)
+}
+
+// fillEmpty guarantees every partition owns at least one vertex
+// whenever the graph has at least k vertices: recursive bisection can
+// leave a part empty on adversarial inputs (k close to NV with lumpy
+// weights), and neither the greedy pass nor the balancer ever
+// populates a partition from nothing. Each empty partition receives
+// the vertex with the least internal connectivity (cheapest cut
+// damage, ties to the lowest vertex id) from the partition currently
+// holding the most vertices. Deterministic: no RNG involved.
+func (s *kwayState) fillEmpty() {
+	for p := 0; p < s.k; p++ {
+		if s.cnt[p] > 0 {
+			continue
+		}
+		donor := -1
+		for q := 0; q < s.k; q++ {
+			if s.cnt[q] > 1 && (donor < 0 || s.cnt[q] > s.cnt[donor]) {
+				donor = q
+			}
+		}
+		if donor < 0 {
+			return // fewer vertices than partitions: nothing to donate
+		}
+		bestV, bestCost := -1, int64(1)<<62
+		for v := 0; v < s.g.NV(); v++ {
+			if int(s.labels[v]) != donor {
+				continue
+			}
+			adj := s.g.Neighbors(v)
+			wgt := s.g.EdgeWeights(v)
+			var cost int64
+			for i, u := range adj {
+				if s.labels[u] == s.labels[v] {
+					cost += int64(wgt[i])
+				}
+			}
+			if cost < bestCost {
+				bestV, bestCost = v, cost
+			}
+		}
+		if bestV < 0 {
+			return
+		}
+		s.move(bestV, p)
+	}
 }
 
 // greedyPass sweeps all vertices once in random order, applying
@@ -266,10 +366,33 @@ func (s *kwayState) balance(rng *rand.Rand) {
 	}
 }
 
-// EdgeCut returns the total weight of edges cut by labels.
+// EdgeCut returns the total weight of edges cut by labels. Above
+// parallelEvalCutoff the vertex sweep is chunked over the worker pool;
+// the per-chunk partial cuts are exact integers, so the parallel sum
+// equals the serial one.
 func EdgeCut(g *graph.Graph, labels []int32) int64 {
+	nv := g.NV()
+	workers := pool.Workers(0)
+	if nv < parallelEvalCutoff || workers < 2 {
+		return edgeCutRange(g, labels, 0, nv)
+	}
+	parts, _ := pool.Map(workers, workers, func(i int) (int64, error) {
+		lo, hi := chunkRange(nv, workers, i)
+		return edgeCutRange(g, labels, lo, hi), nil
+	})
 	var cut int64
-	for v := 0; v < g.NV(); v++ {
+	for _, c := range parts {
+		cut += c
+	}
+	return cut
+}
+
+// edgeCutRange sums the cut weight of edges whose lower endpoint lies
+// in [lo, hi) — each undirected edge is counted exactly once, at its
+// smaller endpoint.
+func edgeCutRange(g *graph.Graph, labels []int32, lo, hi int) int64 {
+	var cut int64
+	for v := lo; v < hi; v++ {
 		adj := g.Neighbors(v)
 		wgt := g.EdgeWeights(v)
 		for i, u := range adj {
@@ -284,16 +407,7 @@ func EdgeCut(g *graph.Graph, labels []int32) int64 {
 // LoadImbalances returns, per constraint, the ratio of the heaviest
 // partition weight to the average (the paper's LoadImbalance(P, j)).
 func LoadImbalances(g *graph.Graph, labels []int32, k int) []float64 {
-	pw := make([][]int64, k)
-	for p := range pw {
-		pw[p] = make([]int64, g.NCon)
-	}
-	for v := 0; v < g.NV(); v++ {
-		w := g.Weights(v)
-		for j, wj := range w {
-			pw[labels[v]][j] += int64(wj)
-		}
-	}
+	pw, _ := accumPartitionWeights(g, labels, k)
 	total := g.TotalWeights()
 	out := make([]float64, g.NCon)
 	for j := 0; j < g.NCon; j++ {

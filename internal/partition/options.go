@@ -13,7 +13,11 @@
 //	max_i w_j(V_i) <= (1+eps) * w_j(V)/k.
 package partition
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // Options configures Partition and RefineKWay.
 type Options struct {
@@ -33,6 +37,23 @@ type Options struct {
 	// RefineIters bounds the FM passes per uncoarsening level
 	// (default 8).
 	RefineIters int
+	// Workers bounds the worker pool the recursive-bisection tree runs
+	// on (0 = GOMAXPROCS). The labels are bit-identical for every
+	// worker count: parallelism is only across independent subtrees,
+	// each seeded by its position in the tree, never inside FM.
+	Workers int
+	// ParallelCutoff overrides the subgraph size above which the two
+	// children of a bisection are scheduled as concurrent pool tasks.
+	// 0 selects the package default (1<<14); negative forces the
+	// strictly serial recursion.
+	ParallelCutoff int
+	// Obs, when non-nil, receives per-phase wall-clock timings of the
+	// multilevel bisections (rb_coarsen, rb_initcut, rb_refine — each
+	// also broken out per recursion depth as <name>_d<depth>) plus the
+	// scheduling counters partition_rb_tasks and the worker-occupancy
+	// gauge partition_rb_workers_max. Timings are observational only;
+	// they never affect the computed partition.
+	Obs *obs.Collector
 }
 
 // withDefaults returns opt with zero fields replaced by defaults.

@@ -4,13 +4,17 @@
 // the process, and return results in submission order so concurrent
 // execution is observationally identical to a serial loop.
 //
-// The package is deliberately tiny — two entry points — because every
-// layer above it (the harness k-sweep, the per-snapshot measurement
-// legs, future sharded backends) needs exactly this contract:
-// deterministic outputs, bounded parallelism, no lost failures.
+// Two shapes of concurrency live here. Map and Run fan out a set of
+// jobs known up front (the harness k-sweep, per-snapshot measurement
+// legs). Group is the fork–join counterpart for recursive fan-out —
+// tasks that discover and submit further tasks, like the children of a
+// recursive-bisection node — with cancellation: the first failing task
+// cancels the group, and queued-but-unstarted tasks are dropped
+// instead of leaking work.
 package pool
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -72,6 +76,166 @@ func Run(workers int, fns ...func() error) error {
 		}
 	}
 	return nil
+}
+
+// Group is a cancellable fork–join task group on a fixed set of
+// workers. Tasks are func(ctx) error and may Submit further tasks
+// (recursive fan-out); tasks must never block on each other, which is
+// what makes a fixed worker count deadlock-free. The first task error
+// or panic cancels the group's context, and every task still sitting
+// in the queue is dropped without running — a failed branch cancels
+// its siblings instead of leaking their work. Wait blocks until no
+// task is queued or running and returns the first failure.
+//
+// Output determinism is the caller's contract: tasks write to disjoint
+// state (e.g. disjoint label ranges keyed by submission position), so
+// scheduling order cannot be observed in the results.
+type Group struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []func(ctx context.Context) error
+	pending int // queued + running tasks
+	closed  bool
+	err     error
+
+	tasks   int64 // tasks executed
+	dropped int64 // tasks dropped by cancellation
+	busy    int   // workers currently running a task
+	maxBusy int   // peak of busy (worker occupancy)
+}
+
+// GroupStats is a snapshot of a group's scheduling counters, for
+// observability: how many tasks ran, how many were dropped by
+// cancellation, and the peak number of simultaneously busy workers.
+type GroupStats struct {
+	Tasks      int64
+	Dropped    int64
+	MaxWorkers int
+}
+
+// NewGroup starts a group with Workers(workers) worker goroutines.
+// The workers exit after Wait; a Group is single-use.
+func NewGroup(ctx context.Context, workers int) *Group {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	g := &Group{}
+	g.cond = sync.NewCond(&g.mu)
+	g.ctx, g.cancel = context.WithCancel(ctx)
+	for i := 0; i < Workers(workers); i++ {
+		go g.worker()
+	}
+	return g
+}
+
+// Submit enqueues fn as a group task. Safe from inside other tasks.
+// If the group is already cancelled the task is dropped immediately.
+// Submitting after Wait has returned panics.
+func (g *Group) Submit(fn func(ctx context.Context) error) {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		panic("pool: Submit on a finished Group")
+	}
+	g.pending++
+	g.queue = append(g.queue, fn)
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// Fork is the cutoff-gated scheduling helper shared by the recursive
+// partitioners (graph recursive bisection, geometric RCB): a
+// subproblem of size >= cutoff is submitted as its own task (Fork
+// returns nil immediately), anything smaller runs inline on the
+// calling goroutine so small subtrees don't pay scheduling overhead.
+// The inline path returns fn's error; callers propagate it so the
+// group cancels exactly as it would for a submitted task. Inline
+// panics are not intercepted here — when Fork is called from inside a
+// task the worker's recovery catches them, and on the strictly serial
+// path (nil *Group, also valid) they reach the caller unchanged.
+func (g *Group) Fork(size, cutoff int, fn func(ctx context.Context) error) error {
+	if g != nil && size >= cutoff {
+		g.Submit(fn)
+		return nil
+	}
+	ctx := context.Background()
+	if g != nil {
+		ctx = g.ctx
+	}
+	return fn(ctx)
+}
+
+// Wait blocks until every submitted task has run or been dropped,
+// shuts the workers down, and returns the first task failure (panics
+// included, as *PanicError). If the parent context was cancelled and
+// tasks were dropped because of it, Wait returns that context error.
+func (g *Group) Wait() error {
+	g.mu.Lock()
+	for g.pending > 0 {
+		g.cond.Wait()
+	}
+	g.closed = true
+	g.cond.Broadcast()
+	err := g.err
+	dropped := g.dropped
+	g.mu.Unlock()
+	g.cancel()
+	if err == nil && dropped > 0 {
+		err = g.ctx.Err()
+	}
+	return err
+}
+
+// Stats reports the group's scheduling counters.
+func (g *Group) Stats() GroupStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return GroupStats{Tasks: g.tasks, Dropped: g.dropped, MaxWorkers: g.maxBusy}
+}
+
+func (g *Group) worker() {
+	g.mu.Lock()
+	for {
+		for len(g.queue) == 0 && !g.closed {
+			g.cond.Wait()
+		}
+		if len(g.queue) == 0 {
+			g.mu.Unlock()
+			return
+		}
+		fn := g.queue[0]
+		g.queue = g.queue[1:]
+		if g.ctx.Err() != nil {
+			g.dropped++
+			g.finishLocked()
+			continue
+		}
+		g.tasks++
+		g.busy++
+		if g.busy > g.maxBusy {
+			g.maxBusy = g.busy
+		}
+		g.mu.Unlock()
+		_, err := safely(func(int) (struct{}, error) { return struct{}{}, fn(g.ctx) }, 0)
+		g.mu.Lock()
+		g.busy--
+		if err != nil && g.err == nil {
+			g.err = err
+			g.cancel()
+		}
+		g.finishLocked()
+	}
+}
+
+// finishLocked retires one task and wakes Wait when the group drains.
+func (g *Group) finishLocked() {
+	g.pending--
+	if g.pending == 0 {
+		g.cond.Broadcast()
+	}
 }
 
 // safely invokes fn(i), converting a panic into a *PanicError.

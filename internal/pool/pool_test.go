@@ -1,6 +1,7 @@
 package pool
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -139,6 +140,143 @@ func TestRunZeroJobs(t *testing.T) {
 	out, err := Map(4, 0, func(i int) (int, error) { return 0, nil })
 	if err != nil || len(out) != 0 {
 		t.Fatalf("empty map: %v %v", out, err)
+	}
+}
+
+func TestGroupRecursiveFanOut(t *testing.T) {
+	// Tasks submit subtasks, fork-join style: sum 1..n by binary
+	// splitting, each leaf adding its value. Exercises Submit from
+	// inside tasks and Wait draining a growing queue.
+	g := NewGroup(context.Background(), 4)
+	var sum atomic.Int64
+	var split func(lo, hi int) func(context.Context) error
+	split = func(lo, hi int) func(context.Context) error {
+		return func(ctx context.Context) error {
+			if hi-lo == 1 {
+				sum.Add(int64(lo))
+				return nil
+			}
+			mid := (lo + hi) / 2
+			g.Submit(split(lo, mid))
+			return split(mid, hi)(ctx)
+		}
+	}
+	g.Submit(split(1, 101))
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if s := sum.Load(); s != 5050 {
+		t.Errorf("sum = %d, want 5050", s)
+	}
+	st := g.Stats()
+	if st.Tasks == 0 || st.Dropped != 0 || st.MaxWorkers < 1 || st.MaxWorkers > 4 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestGroupErrorCancelsQueuedSiblings(t *testing.T) {
+	// One worker: the failing task runs first, so everything queued
+	// behind it must be dropped, not run.
+	g := NewGroup(context.Background(), 1)
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	g.Submit(func(ctx context.Context) error { return boom })
+	for i := 0; i < 50; i++ {
+		g.Submit(func(ctx context.Context) error {
+			ran.Add(1)
+			return nil
+		})
+	}
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want %v", err, boom)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Errorf("%d queued siblings ran after the failure", n)
+	}
+	if st := g.Stats(); st.Dropped != 50 {
+		t.Errorf("dropped = %d, want 50", st.Dropped)
+	}
+}
+
+func TestGroupExternalCancellationStopsQueuedTasks(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := NewGroup(ctx, 1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var ran atomic.Int64
+	g.Submit(func(ctx context.Context) error {
+		close(started)
+		<-release
+		return nil
+	})
+	for i := 0; i < 20; i++ {
+		g.Submit(func(ctx context.Context) error {
+			ran.Add(1)
+			return nil
+		})
+	}
+	<-started // the blocker occupies the only worker; the rest are queued
+	cancel()
+	close(release)
+	if err := g.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Errorf("%d queued tasks ran after cancellation", n)
+	}
+}
+
+func TestGroupPanicBecomesError(t *testing.T) {
+	g := NewGroup(context.Background(), 2)
+	g.Submit(func(ctx context.Context) error { panic("kaboom") })
+	err := g.Wait()
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "kaboom" {
+		t.Fatalf("Wait = %v, want *PanicError(kaboom)", err)
+	}
+}
+
+func TestGroupForkCutoff(t *testing.T) {
+	g := NewGroup(context.Background(), 2)
+	var forked, inline atomic.Int64
+	g.Submit(func(ctx context.Context) error {
+		// Above cutoff: scheduled as a task, returns nil immediately.
+		if err := g.Fork(100, 10, func(ctx context.Context) error {
+			forked.Add(1)
+			return nil
+		}); err != nil {
+			return err
+		}
+		// Below cutoff: runs inline, error comes straight back.
+		return g.Fork(5, 10, func(ctx context.Context) error {
+			inline.Add(1)
+			return errors.New("inline failure")
+		})
+	})
+	if err := g.Wait(); err == nil {
+		t.Fatal("inline Fork error lost")
+	}
+	if inline.Load() != 1 {
+		t.Error("inline path did not run")
+	}
+}
+
+func TestGroupForkNilRunsInline(t *testing.T) {
+	// A nil group is the strictly serial path: everything inline.
+	var g *Group
+	ran := false
+	if err := g.Fork(1<<30, 1, func(ctx context.Context) error {
+		ran = true
+		return nil
+	}); err != nil || !ran {
+		t.Fatalf("nil-group Fork: ran=%v err=%v", ran, err)
+	}
+}
+
+func TestGroupWaitEmpty(t *testing.T) {
+	g := NewGroup(context.Background(), 3)
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -10,10 +10,12 @@
 package rcb
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/geom"
+	"repro/internal/pool"
 )
 
 // node is one bisection in the cut tree.
@@ -33,6 +35,14 @@ type Tree struct {
 	root *node
 }
 
+// parallelBuildCutoff is the point-subset size above which the two
+// subtrees of a cut are built as concurrent pool tasks (the same
+// fork-with-cutoff pattern as the graph partitioner's recursive
+// bisection; both share pool.Group.Fork). Subtrees sort and label
+// disjoint index ranges, so the tree and labels are identical to the
+// serial recursion. A variable so tests can pin either path.
+var parallelBuildCutoff = 1 << 14
+
 // Build computes a k-way recursive coordinate bisection of pts in dim
 // dimensions and returns the tree together with the partition label of
 // every point. Partition sizes differ by at most 1 after every level
@@ -50,13 +60,23 @@ func Build(pts []geom.Point, dim, k int) (*Tree, []int32, error) {
 	for i := range idx {
 		idx[i] = int32(i)
 	}
-	t.root = build(pts, idx, labels, dim, 0, k)
+	if k > 1 && len(pts) >= parallelBuildCutoff {
+		grp := pool.NewGroup(context.Background(), 0)
+		t.root = build(grp, pts, idx, labels, dim, 0, k)
+		if err := grp.Wait(); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		t.root = build(nil, pts, idx, labels, dim, 0, k)
+	}
 	return t, labels, nil
 }
 
 // build recursively bisects idx (point indices) into k partitions whose
-// ids start at base.
-func build(pts []geom.Point, idx []int32, labels []int32, dim, base, k int) *node {
+// ids start at base, forking the left subtree onto grp when the subset
+// is large enough (grp == nil means strictly serial). The returned
+// node's children are fully populated only after grp.Wait.
+func build(grp *pool.Group, pts []geom.Point, idx []int32, labels []int32, dim, base, k int) *node {
 	if k == 1 {
 		for _, i := range idx {
 			labels[i] = int32(base)
@@ -71,8 +91,12 @@ func build(pts []geom.Point, idx []int32, labels []int32, dim, base, k int) *nod
 
 	cut := cutBetween(pts, idx, d, nL)
 	n := &node{dim: d, cut: cut, kLeft: kL}
-	n.left = build(pts, idx[:nL], labels, dim, base, kL)
-	n.right = build(pts, idx[nL:], labels, dim, base+kL, k-kL)
+	left := idx[:nL]
+	grp.Fork(len(idx), parallelBuildCutoff, func(ctx context.Context) error {
+		n.left = build(grp, pts, left, labels, dim, base, kL)
+		return nil
+	})
+	n.right = build(grp, pts, idx[nL:], labels, dim, base+kL, k-kL)
 	return n
 }
 

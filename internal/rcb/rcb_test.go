@@ -46,6 +46,53 @@ func TestBuildBalance(t *testing.T) {
 	}
 }
 
+// TestBuildDeterministicAcrossCutoff: subtree forking happens only
+// above parallelBuildCutoff; for the same input the labels and cut
+// structure must be identical whether every branch is forced parallel
+// (cutoff 1) or strictly serial (cutoff out of reach), and stable
+// across repeated parallel runs.
+func TestBuildDeterministicAcrossCutoff(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	pts := randPoints(r, 5000, 3)
+	saved := parallelBuildCutoff
+	defer func() { parallelBuildCutoff = saved }()
+
+	for _, k := range []int{2, 5, 16} {
+		parallelBuildCutoff = 1 // every split forks
+		tPar, par1, err := Build(pts, 3, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, par2, err := Build(pts, 3, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallelBuildCutoff = len(pts) + 1 // strictly serial
+		tSer, ser, err := Build(pts, 3, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ser {
+			if par1[i] != par2[i] {
+				t.Fatalf("k=%d point %d: parallel runs disagree (%d vs %d)", k, i, par1[i], par2[i])
+			}
+			if par1[i] != ser[i] {
+				t.Fatalf("k=%d point %d: parallel %d != serial %d", k, i, par1[i], ser[i])
+			}
+		}
+		if tPar.Depth() != tSer.Depth() {
+			t.Fatalf("k=%d: tree depth %d (parallel) != %d (serial)", k, tPar.Depth(), tSer.Depth())
+		}
+		// The cut trees must agree node for node, not just label for
+		// label: PartOf walks the tree, so compare classifications.
+		for _, p := range pts[:200] {
+			if tPar.PartOf(p) != tSer.PartOf(p) {
+				t.Fatalf("k=%d: PartOf differs between parallel and serial trees", k)
+			}
+		}
+	}
+}
+
 func TestBuildErrors(t *testing.T) {
 	pts := []geom.Point{geom.P2(0, 0)}
 	if _, _, err := Build(pts, 1, 2); err == nil {

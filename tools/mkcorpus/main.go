@@ -1,0 +1,55 @@
+// Command mkcorpus regenerates the checked-in fuzz seed corpora under
+// internal/partition/testdata/fuzz and internal/dtree/testdata/fuzz.
+// Run from the repo root: go run ./tools/mkcorpus
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dtree"
+	"repro/internal/geom"
+)
+
+func write(dir, name string, data []byte) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func main() {
+	kwayDir := filepath.Join("internal", "partition", "testdata", "fuzz", "FuzzKWay")
+	// Mirrors the f.Add seeds: a mid-size graph, a tiny one, and a chain
+	// with explicit edges.
+	write(kwayDir, "seed-dense", []byte("@\x02\x04\x2a0123456789abcdefghij"))
+	write(kwayDir, "seed-tiny", []byte("\x10\x01\x02\x07kwaykwaykway"))
+	write(kwayDir, "seed-chain", []byte{8, 2, 3, 1, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7})
+
+	treeDir := filepath.Join("internal", "dtree", "testdata", "fuzz", "FuzzTreeDeserialize")
+	r := rand.New(rand.NewSource(11))
+	pts := make([]geom.Point, 40)
+	labels := make([]int32, 40)
+	for i := range pts {
+		pts[i] = geom.P3(r.Float64()*10, r.Float64()*10, r.Float64()*10)
+		labels[i] = int32(r.Intn(3))
+	}
+	tree, err := dtree.Build(pts, labels, 3, 3, dtree.Options{Mode: dtree.Descriptor})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tree.WriteTo(&buf); err != nil {
+		log.Fatal(err)
+	}
+	write(treeDir, "seed-valid", buf.Bytes())
+	write(treeDir, "seed-truncated", buf.Bytes()[:buf.Len()/2])
+	write(treeDir, "seed-magic-only", []byte("ERTD"))
+}
