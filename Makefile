@@ -4,9 +4,9 @@
 # parallel engine workers, and the parallel recursive-bisection
 # partitioner), and a short fuzz smoke per native fuzz target.
 
-.PHONY: check vet test race fuzz-smoke bench
+.PHONY: check vet test race fuzz-smoke chaos bench
 
-check: vet race fuzz-smoke
+check: vet race chaos fuzz-smoke
 
 vet:
 	go vet ./...
@@ -22,6 +22,17 @@ race:
 fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzKWay -fuzztime=10s -fuzzminimizetime=2s ./internal/partition
 	go test -run='^$$' -fuzz=FuzzTreeDeserialize -fuzztime=10s -fuzzminimizetime=2s ./internal/dtree
+
+# Deterministic fault-injection suite under the race detector: the
+# chaos matrix (seeded fault schedules must leave engine results
+# byte-identical), rank-failure degrade paths, transport/fault units,
+# checkpoint kill/resume fidelity, and pool cancellation. Seeds are
+# fixed in the tests, so failures replay exactly.
+chaos:
+	go test -race -count=1 \
+		-run 'Chaos|Fault|Corrupt|Degrade|Retry|Transport|Direct|Faulty|Checkpoint|Resume|Cancel|Maybe|MessageAction|Latency|Active|Nil' \
+		./internal/engine ./internal/transport ./internal/fault \
+		./internal/harness ./internal/pool
 
 # Microbenchmarks plus the serial-vs-parallel KWay comparison; the
 # latter rewrites BENCH_partition.json (checked in for provenance —

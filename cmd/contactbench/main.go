@@ -13,16 +13,26 @@
 //	contactbench -workers 8            # concurrent k-sweep on 8 workers
 //	contactbench -phases -obs rep.json # per-phase timing table + JSON report
 //	contactbench -cpuprofile cpu.pprof -memprofile mem.pprof
+//	contactbench -checkpoint sweep.ckpt           # checkpoint after every snapshot
+//	contactbench -checkpoint sweep.ckpt -resume   # continue a killed sweep
+//
+// SIGINT/SIGTERM interrupt the sweep gracefully: completed snapshots
+// stay durable in the checkpoint, the observability report (if
+// requested) is still written, and the process exits with status 130.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/harness"
@@ -32,6 +42,12 @@ import (
 )
 
 func main() {
+	// The real work lives in run so deferred cleanups (profile
+	// writers) execute before the explicit exit code.
+	os.Exit(run())
+}
+
+func run() int {
 	log.SetFlags(0)
 	log.SetPrefix("contactbench: ")
 	var (
@@ -48,13 +64,27 @@ func main() {
 		obsPath   = flag.String("obs", "", "write the per-phase observability report (JSON) to this file")
 		cpuProf   = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a runtime/pprof heap profile to this file")
+		ckptPath  = flag.String("checkpoint", "", "checkpoint sweep progress to this file after every snapshot")
+		resume    = flag.Bool("resume", false, "resume the sweep from the -checkpoint file")
 	)
 	flag.Parse()
+	if *resume && *ckptPath == "" {
+		log.Print("-resume requires -checkpoint")
+		return 2
+	}
+
+	// A first SIGINT/SIGTERM cancels the sweep context (the harness
+	// stops at the next snapshot boundary, with everything completed so
+	// far already checkpointed); a second signal kills the process the
+	// default way.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	if *cpuProf != "" {
 		stop, err := obs.StartCPUProfile(*cpuProf)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		defer func() {
 			if err := stop(); err != nil {
@@ -72,7 +102,8 @@ func main() {
 
 	ks, err := parseKs(*kList)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 2
 	}
 
 	cfg := sim.PaperConfig()
@@ -94,7 +125,12 @@ func main() {
 	t0 := time.Now()
 	snaps, err := sim.Run(cfg)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
+	}
+	if ctx.Err() != nil {
+		log.Print("interrupted during snapshot generation")
+		return 130
 	}
 	m0 := snaps[0].Mesh
 	fmt.Printf("sequence: %d snapshots; initial mesh %d nodes, %d elements, %d contact surfaces, %d contact nodes (%.1f%%) [%.1fs]\n\n",
@@ -103,18 +139,69 @@ func main() {
 
 	if *sweep {
 		runSweep(snaps, ks[0], *seed)
-		return
+		return 0
 	}
 
 	col := obs.New()
+	// writeObs flushes the observability outputs; it runs on success
+	// AND on interruption so a killed sweep still leaves its report.
+	writeObs := func() int {
+		if *phases {
+			fmt.Println("\nPer-phase timings and counters:")
+			col.Report().WriteTable(os.Stdout)
+		}
+		if *obsPath != "" {
+			if err := col.Report().WriteJSONFile(*obsPath); err != nil {
+				log.Print(err)
+				return 1
+			}
+			fmt.Printf("wrote observability report to %s\n", *obsPath)
+		}
+		return 0
+	}
+
 	cfgs := make([]harness.Config, len(ks))
 	for i, k := range ks {
 		cfgs[i] = harness.Config{K: k, Seed: *seed, Obs: col}
 	}
+	var ck *harness.Checkpointer
+	if *ckptPath != "" {
+		if *resume {
+			loaded, lerr := harness.LoadCheckpoint(*ckptPath, snaps, cfgs)
+			switch {
+			case lerr == nil:
+				ck = loaded
+				fmt.Println("resuming from checkpoint:")
+				ck.WriteSummary(os.Stdout, cfgs)
+			case errors.Is(lerr, os.ErrNotExist):
+				log.Printf("no checkpoint at %s; starting fresh", *ckptPath)
+			default:
+				log.Print(lerr)
+				return 1
+			}
+		}
+		if ck == nil {
+			ck = harness.NewCheckpointer(*ckptPath, snaps, cfgs)
+		}
+		ck.Obs = col
+	}
+
 	t1 := time.Now()
-	results, err := harness.RunAll(snaps, cfgs, *workers)
+	results, err := harness.RunAllResumable(ctx, snaps, cfgs, *workers, ck)
 	if err != nil {
-		log.Fatal(err)
+		if ctx.Err() != nil {
+			if ck != nil {
+				log.Print("interrupted; completed snapshots are saved in the checkpoint:")
+				ck.WriteSummary(os.Stderr, cfgs)
+				log.Printf("rerun with -checkpoint %s -resume to continue", *ckptPath)
+			} else {
+				log.Print("interrupted (run with -checkpoint FILE to make sweeps resumable)")
+			}
+			writeObs()
+			return 130
+		}
+		log.Print(err)
+		return 1
 	}
 	fmt.Printf("[k-sweep %v done in %.1fs on %d workers]\n", ks, time.Since(t1).Seconds(), pool.Workers(*workers))
 	for _, r := range results {
@@ -129,13 +216,16 @@ func main() {
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		if err := harness.WriteCSV(f, results); err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		fmt.Printf("\nwrote per-snapshot rows to %s\n", *csvPath)
 	}
@@ -144,16 +234,7 @@ func main() {
 		runAblations(snaps, ks, *seed)
 	}
 
-	if *phases {
-		fmt.Println("\nPer-phase timings and counters:")
-		col.Report().WriteTable(os.Stdout)
-	}
-	if *obsPath != "" {
-		if err := col.Report().WriteJSONFile(*obsPath); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("wrote observability report to %s\n", *obsPath)
-	}
+	return writeObs()
 }
 
 func parseKs(s string) ([]int, error) {

@@ -33,6 +33,13 @@ func main() {
 	)
 	flag.Parse()
 
+	if *refine < 0 {
+		log.Fatalf("-refine %d: must be >= 1 (0 = profile default)", *refine)
+	}
+	if *snapshots < 0 || *steps < 0 {
+		log.Fatalf("-snapshots/-steps must be >= 0 (0 = profile default), got %d/%d", *snapshots, *steps)
+	}
+
 	cfg := sim.DefaultConfig()
 	if *paper {
 		cfg = sim.PaperConfig()

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"runtime"
 	"time"
@@ -55,6 +56,22 @@ func main() {
 		workers   = flag.Int("workers", 0, "worker-pool size for the parallel leg (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	if *k < 1 {
+		log.Fatalf("-k %d: partition count must be >= 1", *k)
+	}
+	if math.IsNaN(*imbalance) || math.IsInf(*imbalance, 0) || *imbalance < 0 {
+		log.Fatalf("-imbalance %v: must be finite and >= 0", *imbalance)
+	}
+	if math.IsNaN(*tol) || math.IsInf(*tol, 0) || *tol < 0 {
+		log.Fatalf("-tol %v: must be finite and >= 0", *tol)
+	}
+	if *cweight < 0 {
+		log.Fatalf("-cweight %d: must be >= 0", *cweight)
+	}
+	if *maxp < 0 || *maxi < 0 {
+		log.Fatalf("-maxp/-maxi must be >= 0 (0 = auto), got %d/%d", *maxp, *maxi)
+	}
 
 	if *cpuProf != "" {
 		stop, err := obs.StartCPUProfile(*cpuProf)

@@ -24,7 +24,10 @@ func main() {
 	// A 2D quad sheet whose whole bottom half is a contact surface,
 	// so the contact points form a dense 2D region.
 	const n = 48
-	m := meshgen.StructuredQuadGrid(meshgen.Grid2DSpec{Nx: n, Ny: n, H: geom.P2(1, 1)})
+	m, err := meshgen.StructuredQuadGrid(meshgen.Grid2DSpec{Nx: n, Ny: n, H: geom.P2(1, 1)})
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, f := range m.BoundaryFacets() {
 		if m.Coords[f.Nodes[0]][1] == 0 && m.Coords[f.Nodes[1]][1] == 0 {
 			m.Surface = append(m.Surface, f)

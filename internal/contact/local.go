@@ -98,6 +98,32 @@ func DetectContacts(m *mesh.Mesh, tol float64) []Pair {
 	return out
 }
 
+// Collect merges per-rank pair reports into the canonical global
+// list: duplicates folded (the engine's fallback reporting rule can
+// make both owners report the same pair) and sorted by (A, B). It is
+// the collector both the concurrent engine and its serial-degrade
+// path feed, which is what makes their outputs comparable
+// byte-for-byte.
+func Collect(lists [][]Pair) []Pair {
+	dedup := map[[2]int32]float64{}
+	for _, l := range lists {
+		for _, pr := range l {
+			dedup[[2]int32{pr.A, pr.B}] = pr.Dist
+		}
+	}
+	out := make([]Pair, 0, len(dedup))
+	for ab, dist := range dedup {
+		out = append(out, Pair{A: ab[0], B: ab[1], Dist: dist})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
 // LostContacts verifies a partition-aware global-search setup against
 // the ground-truth contact pairs: for every detected contact between
 // elements owned by different partitions, at least one side's filter

@@ -235,7 +235,10 @@ func TestStatsAgainstMetricsPackage(t *testing.T) {
 
 func TestDecompose2DMesh(t *testing.T) {
 	// The pipeline must handle 2D meshes end to end.
-	m := meshgen.StructuredQuadGrid(meshgen.Grid2DSpec{Nx: 20, Ny: 20, H: geom.P2(1, 1)})
+	m, err := meshgen.StructuredQuadGrid(meshgen.Grid2DSpec{Nx: 20, Ny: 20, H: geom.P2(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Bottom edge as contact surface.
 	for _, f := range m.BoundaryFacets() {
 		mid := (m.Coords[f.Nodes[0]][1] + m.Coords[f.Nodes[1]][1]) / 2

@@ -1,7 +1,7 @@
 // Package engine executes one iteration of the parallel contact/impact
 // computation that the paper's decompositions exist to serve, using k
-// concurrent workers that communicate only by message passing
-// (channels standing in for MPI ranks):
+// concurrent workers that communicate only by message passing (an
+// abstract rank-to-rank Transport standing in for MPI):
 //
 //	phase 1 (FE):       each worker updates its own nodes and sends
 //	                    ghost copies of boundary nodes to the
@@ -20,17 +20,22 @@
 // The engine reports the realized communication volumes so tests can
 // assert they equal the analytic metrics, and the detected contact
 // pairs so tests can assert parity with serial detection.
+//
+// On top of the transport the engine layers fault tolerance (see
+// resilient.go): per-phase deadlines, sequence-numbered batches with
+// acknowledgement and bounded-backoff resend (receiver-side dedup
+// keeps retries invisible in Stats), and rank-failure detection that
+// degrades gracefully — when a rank is unrecoverable the iteration is
+// re-executed serially and the Stats are marked Degraded/Recovered
+// instead of the whole run erroring.
 package engine
 
 import (
 	"bytes"
 	"fmt"
-	"sort"
-	"sync"
 
 	"repro/internal/contact"
 	"repro/internal/core"
-	"repro/internal/dtree"
 	"repro/internal/geom"
 	"repro/internal/mesh"
 	"repro/internal/obs"
@@ -53,9 +58,20 @@ type Stats struct {
 	Pairs []contact.Pair
 	// PerWorker holds per-rank tallies.
 	PerWorker []WorkerStats
+	// Degraded records that the concurrent iteration failed (a rank
+	// panicked, stalled past its deadline, or received a corrupt
+	// broadcast) and Recovered that the serial re-execution salvaged
+	// it; FailedRanks lists the ranks that caused the failure. The
+	// numeric results of a recovered iteration are identical to a
+	// fault-free run.
+	Degraded    bool
+	Recovered   bool
+	FailedRanks []int
 }
 
-// WorkerStats tallies one worker's traffic.
+// WorkerStats tallies one worker's traffic. All counts are logical:
+// a batch retransmitted by the fault-tolerance layer is counted once,
+// so Stats are identical whether or not retries happened.
 type WorkerStats struct {
 	OwnedNodes    int
 	OwnedElems    int
@@ -66,23 +82,11 @@ type WorkerStats struct {
 	PairsDetected int
 }
 
-// ghostMsg carries boundary-node data from one rank to another.
-type ghostMsg struct {
-	from  int
-	nodes []int32 // node ids (payload stands in for coordinates/forces)
-}
-
-// elemMsg carries shipped surface elements.
-type elemMsg struct {
-	from  int
-	elems []int32 // surface element indices
-}
-
 // Run executes one iteration for the decomposition d of mesh m.
 // tol is the narrow-phase contact tolerance; element shipping uses the
 // sound inflation tol + MaxFacetDiameter so no contact can be lost.
 func Run(m *mesh.Mesh, d *core.Decomposition, tol float64) (*Stats, error) {
-	return RunObserved(m, d, tol, nil)
+	return RunOpts(m, d, tol, Options{})
 }
 
 // RunObserved is Run with per-phase observability: each worker's
@@ -91,10 +95,82 @@ func Run(m *mesh.Mesh, d *core.Decomposition, tol float64) (*Stats, error) {
 // total = aggregate busy time across workers), plus the realized
 // traffic counters. col may be nil.
 func RunObserved(m *mesh.Mesh, d *core.Decomposition, tol float64, col *obs.Collector) (*Stats, error) {
-	k := d.Cfg.K
-	if k < 1 {
-		return nil, fmt.Errorf("engine: k = %d", k)
+	return RunOpts(m, d, tol, Options{Obs: col})
+}
+
+// RunOpts is Run with explicit resilience options (transport, fault
+// injection, deadlines, retry budget); see Options.
+func RunOpts(m *mesh.Mesh, d *core.Decomposition, tol float64, opts Options) (*Stats, error) {
+	if d.Cfg.K < 1 {
+		return nil, fmt.Errorf("engine: k = %d", d.Cfg.K)
 	}
+	it, err := buildIteration(m, d, tol)
+	if err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+
+	st, failed, perr := it.runParallel(opts)
+	if perr == nil {
+		st.finalize(opts.Obs)
+		return st, nil
+	}
+	if opts.NoDegrade {
+		return nil, perr
+	}
+
+	// Graceful degradation: re-execute the iteration serially from the
+	// pristine inputs. The serial path computes the same logical
+	// traffic and the same pairs, so a recovered iteration is
+	// numerically indistinguishable from a fault-free one.
+	opts.Obs.Add("engine_degraded_iters", 1)
+	st, serr := it.runSerial(opts)
+	if serr != nil {
+		return nil, fmt.Errorf("engine: parallel iteration failed (%v) and serial recovery failed: %w", perr, serr)
+	}
+	st.Degraded = true
+	st.Recovered = true
+	st.FailedRanks = failed
+	st.finalize(opts.Obs)
+	return st, nil
+}
+
+// finalize derives the aggregate counters from the per-worker tallies
+// and reports them to the collector.
+func (st *Stats) finalize(col *obs.Collector) {
+	st.GhostUnits, st.ElemsShipped = 0, 0
+	for p := range st.PerWorker {
+		st.GhostUnits += st.PerWorker[p].GhostsSent
+		st.ElemsShipped += st.PerWorker[p].ElemsSent
+	}
+	col.Add("ghost_units", st.GhostUnits)
+	col.Add("elems_shipped", st.ElemsShipped)
+	col.Add("tree_bytes", st.TreeBytes)
+	col.Add("pairs_detected", int64(len(st.Pairs)))
+}
+
+// iteration is the immutable per-iteration state shared by the
+// concurrent attempt and the serial fallback: the serialized broadcast
+// tree, the ownership tables, and the phase-1 send lists. Building it
+// up front means the fallback re-executes from pristine inputs no
+// matter what the fault injection did to the concurrent attempt.
+type iteration struct {
+	m       *mesh.Mesh
+	d       *core.Decomposition
+	tol     float64
+	k       int
+	treeBuf []byte
+	owners  []int32
+	boxes   []geom.AABB
+	nodesOf [][]int32
+	elemsOf [][]int32
+	// ghostSend[from][to] lists the boundary nodes from sends to in
+	// phase 1 (computed from the nodal graph adjacency).
+	ghostSend [][][]int32
+}
+
+func buildIteration(m *mesh.Mesh, d *core.Decomposition, tol float64) (*iteration, error) {
+	k := d.Cfg.K
 	labels := d.Labels
 
 	// Broadcast the descriptor tree: serialize once, parse per worker.
@@ -102,29 +178,32 @@ func RunObserved(m *mesh.Mesh, d *core.Decomposition, tol float64, col *obs.Coll
 	if _, err := d.Descriptor.WriteTo(&treeBuf); err != nil {
 		return nil, err
 	}
-	treeBytes := int64(treeBuf.Len())
 
-	owners := contact.SurfaceOwners(m, labels)
+	it := &iteration{
+		m: m, d: d, tol: tol, k: k,
+		treeBuf: treeBuf.Bytes(),
+		owners:  contact.SurfaceOwners(m, labels),
+	}
 	searchTol := tol + contact.MaxFacetDiameter(m)
-	boxes := contact.SurfaceBoxes(m, searchTol)
+	it.boxes = contact.SurfaceBoxes(m, searchTol)
 
 	// Ownership tables.
-	nodesOf := make([][]int32, k)
+	it.nodesOf = make([][]int32, k)
 	for v := 0; v < m.NumNodes(); v++ {
 		p := labels[v]
-		nodesOf[p] = append(nodesOf[p], int32(v))
+		it.nodesOf[p] = append(it.nodesOf[p], int32(v))
 	}
-	elemsOf := make([][]int32, k)
-	for e, p := range owners {
-		elemsOf[p] = append(elemsOf[p], int32(e))
+	it.elemsOf = make([][]int32, k)
+	for e, p := range it.owners {
+		it.elemsOf[p] = append(it.elemsOf[p], int32(e))
 	}
 
 	// Phase-1 send lists: node v goes to every distinct neighbor
-	// partition (computed from the nodal graph adjacency).
+	// partition.
 	g := d.Graph
-	ghostSend := make([][][]int32, k) // [from][to] -> nodes
+	it.ghostSend = make([][][]int32, k)
 	for p := 0; p < k; p++ {
-		ghostSend[p] = make([][]int32, k)
+		it.ghostSend[p] = make([][]int32, k)
 	}
 	seen := make([]int32, k)
 	stamp := int32(0)
@@ -134,141 +213,30 @@ func RunObserved(m *mesh.Mesh, d *core.Decomposition, tol float64, col *obs.Coll
 		for _, u := range g.Neighbors(v) {
 			if p := labels[u]; p != own && seen[p] != stamp {
 				seen[p] = stamp
-				ghostSend[own][p] = append(ghostSend[own][p], int32(v))
+				it.ghostSend[own][p] = append(it.ghostSend[own][p], int32(v))
 			}
 		}
 	}
+	return it, nil
+}
 
-	// Channels: one inbox per worker per phase, buffered for all ranks.
-	ghostIn := make([]chan ghostMsg, k)
-	elemIn := make([]chan elemMsg, k)
-	for p := 0; p < k; p++ {
-		ghostIn[p] = make(chan ghostMsg, k)
-		elemIn[p] = make(chan elemMsg, k)
-	}
-
-	stats := &Stats{K: k, TreeBytes: treeBytes, PerWorker: make([]WorkerStats, k)}
-	pairsCh := make(chan []contact.Pair, k)
-	errCh := make(chan error, k)
-	var wg sync.WaitGroup
-
-	for p := 0; p < k; p++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			ws := &stats.PerWorker[rank]
-			ws.OwnedNodes = len(nodesOf[rank])
-			ws.OwnedElems = len(elemsOf[rank])
-
-			// --- Phase 1: ghost exchange (all-to-all personalized). ---
-			for to := 0; to < k; to++ {
-				if to == rank {
-					continue
+// sendElemsFor runs the phase-2 global search for one rank: its owned
+// surface elements are filtered through the (already parsed) tree and
+// binned by candidate destination partition.
+func (it *iteration) sendElemsFor(rank int, filter contact.Filter, mark []bool) [][]int32 {
+	send := make([][]int32, it.k)
+	for _, e := range it.elemsOf[rank] {
+		filter.PartsFor(it.boxes[e], mark)
+		for to := 0; to < it.k; to++ {
+			if mark[to] {
+				if to != rank {
+					send[to] = append(send[to], e)
 				}
-				msg := ghostMsg{from: rank, nodes: ghostSend[rank][to]}
-				ws.GhostsSent += int64(len(msg.nodes))
-				ghostIn[to] <- msg
+				mark[to] = false
 			}
-			for i := 0; i < k-1; i++ {
-				msg := <-ghostIn[rank]
-				ws.GhostsRecv += int64(len(msg.nodes))
-			}
-
-			// --- Phase 2: global search. Parse the broadcast tree and
-			// filter our own surface elements through it. ---
-			stopGlobal := col.Start("global_search")
-			tree, err := dtree.ReadTree(bytes.NewReader(treeBuf.Bytes()))
-			if err != nil {
-				errCh <- err
-				// Keep the all-to-all pattern alive so peers don't block.
-				for to := 0; to < k; to++ {
-					if to != rank {
-						elemIn[to] <- elemMsg{from: rank}
-					}
-				}
-				for i := 0; i < k-1; i++ {
-					<-elemIn[rank]
-				}
-				pairsCh <- nil
-				return
-			}
-			filter := &contact.TreeFilter{
-				Tree:       tree,
-				Labels:     d.ContactLabels,
-				TightBoxes: tree.PointBoxes(d.ContactPoints),
-			}
-			sendElems := make([][]int32, k)
-			mark := make([]bool, k)
-			for _, e := range elemsOf[rank] {
-				filter.PartsFor(boxes[e], mark)
-				for to := 0; to < k; to++ {
-					if mark[to] {
-						if to != rank {
-							sendElems[to] = append(sendElems[to], e)
-						}
-						mark[to] = false
-					}
-				}
-			}
-			var received []int32
-			for to := 0; to < k; to++ {
-				if to == rank {
-					continue
-				}
-				ws.ElemsSent += int64(len(sendElems[to]))
-				elemIn[to] <- elemMsg{from: rank, elems: sendElems[to]}
-			}
-			for i := 0; i < k-1; i++ {
-				msg := <-elemIn[rank]
-				ws.ElemsRecv += int64(len(msg.elems))
-				received = append(received, msg.elems...)
-			}
-			stopGlobal()
-
-			// --- Phase 3: local search over own + received elements,
-			// reported under the duplicate-free ownership rule (see
-			// localSearch). ---
-			stopLocal := col.Start("local_search")
-			pairs := localSearch(m, boxes, owners, elemsOf[rank], received, rank, tol)
-			stopLocal()
-			ws.PairsDetected = len(pairs)
-			pairsCh <- pairs
-		}(p)
-	}
-	wg.Wait()
-	close(errCh)
-	for err := range errCh {
-		if err != nil {
-			return nil, err
 		}
 	}
-
-	// Collect and deduplicate pairs.
-	dedup := map[[2]int32]float64{}
-	for p := 0; p < k; p++ {
-		for _, pr := range <-pairsCh {
-			dedup[[2]int32{pr.A, pr.B}] = pr.Dist
-		}
-	}
-	for ab, dist := range dedup {
-		stats.Pairs = append(stats.Pairs, contact.Pair{A: ab[0], B: ab[1], Dist: dist})
-	}
-	sort.Slice(stats.Pairs, func(i, j int) bool {
-		if stats.Pairs[i].A != stats.Pairs[j].A {
-			return stats.Pairs[i].A < stats.Pairs[j].A
-		}
-		return stats.Pairs[i].B < stats.Pairs[j].B
-	})
-
-	for p := 0; p < k; p++ {
-		stats.GhostUnits += stats.PerWorker[p].GhostsSent
-		stats.ElemsShipped += stats.PerWorker[p].ElemsSent
-	}
-	col.Add("ghost_units", stats.GhostUnits)
-	col.Add("elems_shipped", stats.ElemsShipped)
-	col.Add("tree_bytes", stats.TreeBytes)
-	col.Add("pairs_detected", int64(len(stats.Pairs)))
-	return stats, nil
+	return send
 }
 
 // localSearch runs the narrow phase at one rank: every pair of
@@ -282,7 +250,7 @@ func RunObserved(m *mesh.Mesh, d *core.Decomposition, tol float64, col *obs.Coll
 // shipping B to owner(A). The fallback covers that asymmetry: the rank
 // owning B also reports when A was received here. When both owners saw
 // both elements the pair is reported twice and the collector's dedup
-// map folds the copies.
+// folds the copies.
 func localSearch(m *mesh.Mesh, boxes []geom.AABB, owners []int32, own, received []int32, rank int, tol float64) []contact.Pair {
 	all := make([]int32, 0, len(own)+len(received))
 	all = append(all, own...)

@@ -1,0 +1,232 @@
+// Package fault provides deterministic, seed-driven fault schedules
+// for chaos-testing the parallel engine's message transport. A Plan
+// decides, purely from a message's identity (sender, receiver, phase,
+// kind, delivery attempt) and the plan's seed, whether that message is
+// dropped, delayed, duplicated, or reordered — so a schedule is fully
+// reproducible regardless of goroutine interleaving. Plans can also
+// inject rank-level failures: a panic or a stall at a given engine
+// phase, or corruption of the serialized descriptor-tree broadcast a
+// rank receives. The engine's recovery machinery (retries, serial
+// degrade) must make every recovering schedule invisible in the
+// results; the chaos test matrix asserts exactly that.
+package fault
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Action is the injected fate of one message send.
+type Action uint8
+
+const (
+	// None delivers the message normally.
+	None Action = iota
+	// Drop silently discards the message.
+	Drop
+	// Delay delivers the message after Plan.DelayFor.
+	Delay
+	// Duplicate delivers the message twice.
+	Duplicate
+	// Reorder delivers the message after Plan.ReorderFor — long enough
+	// that later messages from the same sender overtake it, short
+	// enough not to look like a drop.
+	Reorder
+)
+
+func (a Action) String() string {
+	switch a {
+	case None:
+		return "none"
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	case Duplicate:
+		return "duplicate"
+	case Reorder:
+		return "reorder"
+	}
+	return fmt.Sprintf("Action(%d)", uint8(a))
+}
+
+// Stall describes an injected rank stall: the rank sleeps For (or
+// until the iteration is cancelled) at the start of the given engine
+// phase, so its peers' phase deadlines expire.
+type Stall struct {
+	Phase int
+	For   time.Duration
+}
+
+// An InjectedPanic is the value a fault-injected rank panics with; the
+// engine's per-worker recovery turns it into a per-rank error.
+type InjectedPanic struct {
+	Rank, Phase int
+}
+
+func (p InjectedPanic) Error() string {
+	return fmt.Sprintf("fault: injected panic at rank %d, phase %d", p.Rank, p.Phase)
+}
+
+// Plan is a deterministic fault schedule. The zero value injects
+// nothing; a nil *Plan is valid everywhere and injects nothing.
+//
+// Message-level probabilities are per send attempt and are decided by
+// hashing (Seed, from, to, phase, kind, attempt) — two runs of the
+// same schedule make identical decisions for identical messages, and
+// a retried message (higher attempt) rolls a fresh, equally
+// deterministic coin, which is what lets bounded retries recover from
+// Drop schedules.
+type Plan struct {
+	Seed int64
+
+	// Per-attempt probabilities, cumulative order Drop, Delay,
+	// Duplicate, Reorder. Their sum should be <= 1.
+	DropProb, DelayProb, DupProb, ReorderProb float64
+
+	// FirstAttemptOnly restricts message faults to attempt 0, so the
+	// first resend always goes through and retry recovery is
+	// guaranteed (no serial degrade). When false, a sufficiently
+	// unlucky schedule can exhaust the retry budget, which the engine
+	// answers with the serial-degrade path instead.
+	FirstAttemptOnly bool
+
+	// DelayFor / ReorderFor are the injected latencies (defaults 2ms /
+	// 500µs).
+	DelayFor, ReorderFor time.Duration
+
+	// PanicRank maps rank -> engine phase at which that rank panics.
+	PanicRank map[int]int
+	// StallRank maps rank -> injected stall.
+	StallRank map[int]Stall
+	// CorruptTree marks ranks whose received copy of the serialized
+	// descriptor tree is truncated and bit-flipped in transit.
+	CorruptTree map[int]bool
+}
+
+// splitmix64 is the finalizer used to hash message identities; it is
+// stable across runs and platforms.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// roll returns a uniform [0,1) draw determined by the plan seed and
+// the message identity.
+func (p *Plan) roll(from, to, phase, kind, attempt int) float64 {
+	h := uint64(p.Seed)
+	for _, v := range [...]int{from, to, phase, kind, attempt} {
+		h = splitmix64(h ^ uint64(int64(v)))
+	}
+	return float64(h>>11) / float64(1<<53)
+}
+
+// MessageAction decides the fate of one message send attempt. It is a
+// pure function of the plan and the message identity.
+func (p *Plan) MessageAction(from, to, phase, kind, attempt int) Action {
+	if p == nil {
+		return None
+	}
+	if p.FirstAttemptOnly && attempt > 0 {
+		return None
+	}
+	u := p.roll(from, to, phase, kind, attempt)
+	for _, c := range [...]struct {
+		prob   float64
+		action Action
+	}{
+		{p.DropProb, Drop},
+		{p.DelayProb, Delay},
+		{p.DupProb, Duplicate},
+		{p.ReorderProb, Reorder},
+	} {
+		if u < c.prob {
+			return c.action
+		}
+		u -= c.prob
+	}
+	return None
+}
+
+// Latency returns the injected delivery delay for an action (zero for
+// non-latency actions).
+func (p *Plan) Latency(a Action) time.Duration {
+	if p == nil {
+		return 0
+	}
+	switch a {
+	case Delay:
+		if p.DelayFor > 0 {
+			return p.DelayFor
+		}
+		return 2 * time.Millisecond
+	case Reorder:
+		if p.ReorderFor > 0 {
+			return p.ReorderFor
+		}
+		return 500 * time.Microsecond
+	}
+	return 0
+}
+
+// MaybePanic panics with an InjectedPanic if the plan schedules one
+// for this rank and phase.
+func (p *Plan) MaybePanic(rank, phase int) {
+	if p == nil {
+		return
+	}
+	if ph, ok := p.PanicRank[rank]; ok && ph == phase {
+		panic(InjectedPanic{Rank: rank, Phase: phase})
+	}
+}
+
+// MaybeStall sleeps for the scheduled stall (if any), returning early
+// when ctx is cancelled — a stalled rank must still notice that the
+// iteration has been abandoned.
+func (p *Plan) MaybeStall(ctx context.Context, rank, phase int) {
+	if p == nil {
+		return
+	}
+	st, ok := p.StallRank[rank]
+	if !ok || st.Phase != phase {
+		return
+	}
+	t := time.NewTimer(st.For)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// CorruptTreeBytes returns the descriptor-tree bytes rank actually
+// receives: the original slice when the rank is not scheduled for
+// corruption, otherwise a truncated copy with a flipped byte. The
+// input is never modified.
+func (p *Plan) CorruptTreeBytes(rank int, b []byte) []byte {
+	if p == nil || !p.CorruptTree[rank] {
+		return b
+	}
+	n := len(b) / 2
+	if n == 0 {
+		n = len(b)
+	}
+	c := make([]byte, n)
+	copy(c, b[:n])
+	if n > 8 {
+		c[n/2] ^= 0xff
+	}
+	return c
+}
+
+// Active reports whether the plan can inject anything at all.
+func (p *Plan) Active() bool {
+	if p == nil {
+		return false
+	}
+	return p.DropProb > 0 || p.DelayProb > 0 || p.DupProb > 0 || p.ReorderProb > 0 ||
+		len(p.PanicRank) > 0 || len(p.StallRank) > 0 || len(p.CorruptTree) > 0
+}

@@ -1,0 +1,212 @@
+package fault
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+// TestMessageActionDeterministic: the action for a given message
+// identity is a pure function of the plan seed — independent of call
+// order, so goroutine scheduling cannot perturb a chaos schedule.
+func TestMessageActionDeterministic(t *testing.T) {
+	p := &Plan{Seed: 42, DropProb: 0.3, DelayProb: 0.2, DupProb: 0.1}
+	var first []Action
+	for from := 0; from < 4; from++ {
+		for to := 0; to < 4; to++ {
+			first = append(first, p.MessageAction(from, to, 1, 0, 0))
+		}
+	}
+	// Re-query in reverse order; answers must not change.
+	i := len(first) - 1
+	for from := 3; from >= 0; from-- {
+		for to := 3; to >= 0; to-- {
+			if a := p.MessageAction(from, to, 1, 0, 0); a != first[i] {
+				t.Fatalf("action for (%d,%d) changed between queries: %v vs %v", from, to, first[i], a)
+			}
+			i--
+		}
+	}
+}
+
+func TestMessageActionSeedSensitivity(t *testing.T) {
+	a := &Plan{Seed: 1, DropProb: 0.5}
+	b := &Plan{Seed: 2, DropProb: 0.5}
+	same := true
+	for from := 0; from < 8 && same; from++ {
+		for to := 0; to < 8; to++ {
+			if a.MessageAction(from, to, 1, 0, 0) != b.MessageAction(from, to, 1, 0, 0) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("64 message actions identical across different seeds")
+	}
+}
+
+// TestFirstAttemptOnly guarantees retry recovery: resends (attempt >
+// 0) are never molested.
+func TestFirstAttemptOnly(t *testing.T) {
+	p := &Plan{Seed: 7, DropProb: 1.0, FirstAttemptOnly: true}
+	if a := p.MessageAction(0, 1, 1, 0, 0); a != Drop {
+		t.Fatalf("attempt 0 with DropProb=1: %v, want Drop", a)
+	}
+	for attempt := 1; attempt < 5; attempt++ {
+		if a := p.MessageAction(0, 1, 1, 0, attempt); a != None {
+			t.Fatalf("attempt %d molested (%v) despite FirstAttemptOnly", attempt, a)
+		}
+	}
+}
+
+func TestProbabilitiesRoughlyHonored(t *testing.T) {
+	p := &Plan{Seed: 3, DropProb: 0.5}
+	drops := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if p.MessageAction(i%16, (i/16)%16, 1+i%3, 0, 0) == Drop {
+			drops++
+		}
+	}
+	if frac := float64(drops) / n; frac < 0.4 || frac > 0.6 {
+		t.Errorf("drop fraction %.3f for DropProb=0.5", frac)
+	}
+}
+
+func recoverPanic(f func()) (v any) {
+	defer func() { v = recover() }()
+	f()
+	return nil
+}
+
+func TestNilPlanIsInert(t *testing.T) {
+	var p *Plan
+	if p.Active() {
+		t.Error("nil plan active")
+	}
+	if a := p.MessageAction(0, 1, 1, 0, 0); a != None {
+		t.Errorf("nil plan action %v", a)
+	}
+	if d := p.Latency(Delay); d != 0 {
+		t.Errorf("nil plan latency %v", d)
+	}
+	if v := recoverPanic(func() { p.MaybePanic(0, 1) }); v != nil {
+		t.Errorf("nil plan panicked: %v", v)
+	}
+	done := make(chan struct{})
+	go func() {
+		p.MaybeStall(context.Background(), 0, 1)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("nil plan stalled")
+	}
+	b := []byte{1, 2, 3}
+	if got := p.CorruptTreeBytes(0, b); !bytes.Equal(got, b) {
+		t.Errorf("nil plan corrupted bytes: %v", got)
+	}
+}
+
+func TestMaybePanic(t *testing.T) {
+	p := &Plan{PanicRank: map[int]int{2: 1}}
+	if v := recoverPanic(func() { p.MaybePanic(2, 1) }); v == nil {
+		t.Error("no panic for the scheduled rank/phase")
+	} else if ip, ok := v.(InjectedPanic); !ok {
+		t.Errorf("panic value %T, want InjectedPanic", v)
+	} else if ip.Rank != 2 || ip.Phase != 1 {
+		t.Errorf("panic value %+v", ip)
+	}
+	if v := recoverPanic(func() { p.MaybePanic(2, 2) }); v != nil {
+		t.Error("panicked at the wrong phase")
+	}
+	if v := recoverPanic(func() { p.MaybePanic(1, 1) }); v != nil {
+		t.Error("panicked at the wrong rank")
+	}
+}
+
+// TestMaybeStallRespectsContext: a stalled rank wakes up as soon as
+// the phase deadline cancels its context, not after the full stall.
+func TestMaybeStallRespectsContext(t *testing.T) {
+	p := &Plan{StallRank: map[int]Stall{0: {Phase: 2, For: time.Hour}}}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	p.MaybeStall(ctx, 0, 2)
+	if d := time.Since(t0); d > 5*time.Second {
+		t.Fatalf("stall held for %v after context cancellation", d)
+	}
+	// Wrong phase: returns immediately even with a live context.
+	done := make(chan struct{})
+	go func() {
+		p.MaybeStall(context.Background(), 0, 1)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled at a phase with no scheduled stall")
+	}
+}
+
+// TestCorruptTreeBytes: corruption is undecodable-by-construction
+// (truncation + bit flip), deterministic, and never mutates the
+// caller's buffer.
+func TestCorruptTreeBytes(t *testing.T) {
+	p := &Plan{CorruptTree: map[int]bool{1: true}}
+	orig := make([]byte, 64)
+	for i := range orig {
+		orig[i] = byte(i)
+	}
+	saved := append([]byte(nil), orig...)
+	got := p.CorruptTreeBytes(1, orig)
+	if !bytes.Equal(orig, saved) {
+		t.Fatal("CorruptTreeBytes mutated the input buffer")
+	}
+	if bytes.Equal(got, orig) || len(got) >= len(orig) {
+		t.Fatalf("corruption is a no-op: %d bytes out of %d", len(got), len(orig))
+	}
+	if again := p.CorruptTreeBytes(1, orig); !bytes.Equal(again, got) {
+		t.Fatal("corruption not deterministic")
+	}
+	// Non-corrupting rank passes through untouched (same backing array).
+	if through := p.CorruptTreeBytes(0, orig); !bytes.Equal(through, orig) {
+		t.Fatal("rank 0 bytes were corrupted")
+	}
+}
+
+func TestLatencyDefaults(t *testing.T) {
+	p := &Plan{Seed: 1, DelayProb: 1}
+	if d := p.Latency(Delay); d <= 0 {
+		t.Errorf("default delay latency %v", d)
+	}
+	if d := p.Latency(Reorder); d <= 0 {
+		t.Errorf("default reorder latency %v", d)
+	}
+	if d := p.Latency(None); d != 0 {
+		t.Errorf("latency for None = %v", d)
+	}
+	q := &Plan{DelayFor: 5 * time.Millisecond}
+	if d := q.Latency(Delay); d != 5*time.Millisecond {
+		t.Errorf("explicit DelayFor ignored: %v", d)
+	}
+}
+
+func TestActive(t *testing.T) {
+	if (&Plan{Seed: 99}).Active() {
+		t.Error("plan with only a seed reported active")
+	}
+	for name, p := range map[string]*Plan{
+		"drop":    {DropProb: 0.1},
+		"panic":   {PanicRank: map[int]int{0: 1}},
+		"stall":   {StallRank: map[int]Stall{0: {Phase: 1, For: time.Millisecond}}},
+		"corrupt": {CorruptTree: map[int]bool{0: true}},
+	} {
+		if !p.Active() {
+			t.Errorf("%s plan reported inactive", name)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package harness
+
+// Checkpoint/restart for the evaluation sweep. A multi-hour RunAll
+// must survive being killed: after every completed snapshot each
+// experiment's rows-so-far, metric accumulators, and snapshot cursor
+// are written to a versioned JSON checkpoint (atomically: temp file +
+// rename), and a resumed run fast-forwards the deterministic
+// partition/RCB state through the already-measured snapshots without
+// re-paying the metric evaluation, producing byte-identical Rows and
+// Avg to an uninterrupted run.
+//
+// The checkpoint is bound to its workload by a config hash (every
+// result-affecting Config field plus the snapshot sequence shape);
+// resuming against a different workload is refused rather than
+// silently producing mixed results.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// CheckpointVersion is the format version written to and required
+// from checkpoint files. Policy: the version bumps whenever the
+// schema or the meaning of any field changes; older files are
+// rejected with ErrCheckpointMismatch (a sweep is cheap to restart
+// relative to the cost of silently mixing formats).
+const CheckpointVersion = 1
+
+// ErrCheckpointMismatch reports a checkpoint that cannot resume the
+// requested workload: wrong format version or wrong config hash.
+var ErrCheckpointMismatch = errors.New("harness: checkpoint does not match this run")
+
+// experimentState is one experiment's progress: Cursor snapshots are
+// fully measured, with their rows and the running imbalance
+// accumulators captured. (The partition/RCB state is NOT stored: it
+// is deterministic from the config seed, so resume recomputes it by
+// fast-forwarding, which keeps the checkpoint small and the format
+// stable.)
+type experimentState struct {
+	Cursor     int     `json:"cursor"`
+	Rows       []Row   `json:"rows"`
+	ImbFE      float64 `json:"imb_fe"`
+	ImbContact float64 `json:"imb_contact"`
+}
+
+// checkpointFile is the on-disk schema.
+type checkpointFile struct {
+	Version     int               `json:"version"`
+	ConfigHash  string            `json:"config_hash"`
+	Experiments []experimentState `json:"experiments"`
+}
+
+// Checkpointer persists sweep progress. It is shared by the
+// concurrently running experiments of a RunAll; every update rewrites
+// the file atomically under a mutex.
+type Checkpointer struct {
+	// Obs, when non-nil, records the "checkpoint_write" phase timer
+	// and the "checkpoint_writes" counter.
+	Obs *obs.Collector
+	// AfterFlush, when non-nil, is called after each atomic write
+	// with the experiment index and its new cursor. Tests use it to
+	// kill a run at an exact snapshot; tooling can use it for
+	// progress reporting.
+	AfterFlush func(exp, cursor int)
+
+	path string
+	mu   sync.Mutex
+	file checkpointFile
+}
+
+// configHash binds a checkpoint to its workload: every Config field
+// that affects Rows, plus the shape of the snapshot sequence.
+func configHash(snaps []sim.Snapshot, cfgs []Config) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d snaps=%d", CheckpointVersion, len(snaps))
+	if len(snaps) > 0 {
+		fmt.Fprintf(h, " n0=%d e0=%d", snaps[0].Mesh.NumNodes(), snaps[0].Mesh.NumElems())
+	}
+	for _, c := range cfgs {
+		c = c.withDefaults()
+		fmt.Fprintf(h, "|k=%d seed=%d imb=%g tol=%g cw=%d mp=%d mi=%d sr=%t lf=%t geo=%t wg=%t re=%d inc=%t",
+			c.K, c.Seed, c.Imbalance, c.SearchTol, c.ContactEdgeWeight,
+			c.MaxPure, c.MaxImpure, c.SkipReshape, c.LooseTreeFilter,
+			c.Geometric, c.WideGaps, c.RepartitionEvery, c.Incremental)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// NewCheckpointer starts a fresh checkpoint for the workload at path.
+// Nothing is written until the first snapshot completes.
+func NewCheckpointer(path string, snaps []sim.Snapshot, cfgs []Config) *Checkpointer {
+	return &Checkpointer{
+		path: path,
+		file: checkpointFile{
+			Version:     CheckpointVersion,
+			ConfigHash:  configHash(snaps, cfgs),
+			Experiments: make([]experimentState, len(cfgs)),
+		},
+	}
+}
+
+// LoadCheckpoint opens an existing checkpoint and validates it
+// against the workload. A version or config-hash mismatch returns
+// ErrCheckpointMismatch (wrapped with detail).
+func LoadCheckpoint(path string, snaps []sim.Snapshot, cfgs []Config) (*Checkpointer, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("harness: read checkpoint: %w", err)
+	}
+	var file checkpointFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return nil, fmt.Errorf("harness: parse checkpoint %s: %w", path, err)
+	}
+	if file.Version != CheckpointVersion {
+		return nil, fmt.Errorf("%w: file version %d, supported %d",
+			ErrCheckpointMismatch, file.Version, CheckpointVersion)
+	}
+	if want := configHash(snaps, cfgs); file.ConfigHash != want {
+		return nil, fmt.Errorf("%w: config hash %.12s…, want %.12s…",
+			ErrCheckpointMismatch, file.ConfigHash, want)
+	}
+	if len(file.Experiments) != len(cfgs) {
+		return nil, fmt.Errorf("%w: %d experiments, want %d",
+			ErrCheckpointMismatch, len(file.Experiments), len(cfgs))
+	}
+	for i, st := range file.Experiments {
+		if st.Cursor < 0 || st.Cursor > len(snaps) || len(st.Rows) != st.Cursor {
+			return nil, fmt.Errorf("%w: experiment %d has cursor %d with %d rows over %d snapshots",
+				ErrCheckpointMismatch, i, st.Cursor, len(st.Rows), len(snaps))
+		}
+	}
+	return &Checkpointer{path: path, file: file}, nil
+}
+
+// state returns a copy of one experiment's saved progress.
+func (c *Checkpointer) state(exp int) experimentState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.file.Experiments[exp]
+	st.Rows = append([]Row(nil), st.Rows...)
+	return st
+}
+
+// record appends one completed snapshot to an experiment and flushes
+// the whole checkpoint atomically.
+func (c *Checkpointer) record(exp, cursor int, row Row, imbFE, imbContact float64) error {
+	stop := c.Obs.Start("checkpoint_write")
+	c.mu.Lock()
+	st := &c.file.Experiments[exp]
+	st.Rows = append(st.Rows, row)
+	st.Cursor = cursor
+	st.ImbFE = imbFE
+	st.ImbContact = imbContact
+	err := c.flushLocked()
+	c.mu.Unlock()
+	stop()
+	c.Obs.Add("checkpoint_writes", 1)
+	if err == nil && c.AfterFlush != nil {
+		c.AfterFlush(exp, cursor)
+	}
+	return err
+}
+
+// flushLocked writes the checkpoint atomically: marshal, write to a
+// temp file in the same directory, fsync, rename over the target. A
+// crash mid-write leaves either the old complete file or the new
+// complete file, never a torn one.
+func (c *Checkpointer) flushLocked() error {
+	data, err := json.MarshalIndent(&c.file, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp := c.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, c.path)
+}
+
+// Done reports the per-experiment snapshot cursors (how much of the
+// sweep is already measured).
+func (c *Checkpointer) Done() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, len(c.file.Experiments))
+	for i, st := range c.file.Experiments {
+		out[i] = st.Cursor
+	}
+	return out
+}
+
+// WriteSummary prints a one-line resume summary per experiment.
+func (c *Checkpointer) WriteSummary(w io.Writer, cfgs []Config) {
+	for i, done := range c.Done() {
+		k := 0
+		if i < len(cfgs) {
+			k = cfgs[i].K
+		}
+		fmt.Fprintf(w, "  experiment %d (k=%d): %d snapshots checkpointed\n", i, k, done)
+	}
+}

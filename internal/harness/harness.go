@@ -16,6 +16,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -129,6 +130,21 @@ type Result struct {
 
 // Run executes the experiment over the snapshot sequence.
 func Run(snaps []sim.Snapshot, cfg Config) (*Result, error) {
+	return run(context.Background(), snaps, cfg, nil, 0)
+}
+
+// run is the checkpoint-aware experiment loop. When ck is non-nil it
+// resumes experiment exp from the checkpointed cursor: the carried
+// partition state (repartitions, incremental RCB updates, the
+// previous-labels map) is fast-forwarded through the already-measured
+// snapshots — it is deterministic from the seed, so replaying it is
+// exact — while their rows and imbalance accumulators are taken from
+// the checkpoint, skipping the expensive metric legs. Each newly
+// measured snapshot is recorded to ck before the loop advances, and a
+// context cancellation returns ctx.Err() with all completed snapshots
+// durably checkpointed. The Result of a resumed run is byte-identical
+// to an uninterrupted one.
+func run(ctx context.Context, snaps []sim.Snapshot, cfg Config, ck *Checkpointer, exp int) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if len(snaps) == 0 {
 		return nil, fmt.Errorf("harness: no snapshots")
@@ -161,6 +177,16 @@ func Run(snaps []sim.Snapshot, cfg Config) (*Result, error) {
 	prevRCB := map[int64]int32{}
 	var imbFE, imbContact float64
 
+	// start is the first snapshot still to be measured; everything
+	// before it is already in the checkpoint.
+	start := 0
+	if ck != nil {
+		st := ck.state(exp)
+		start = st.Cursor
+		res.Rows = append(res.Rows, st.Rows...)
+		imbFE, imbContact = st.ImbFE, st.ImbContact
+	}
+
 	decompose := func(sn sim.Snapshot) error {
 		d, err := core.Decompose(sn.Mesh, coreCfg)
 		if err != nil {
@@ -191,6 +217,27 @@ func Run(snaps []sim.Snapshot, cfg Config) (*Result, error) {
 			} else if err := decompose(sn); err != nil {
 				return nil, err
 			}
+		}
+		if t < start {
+			// Fast-forward an already-checkpointed snapshot: replay only
+			// the state carried across snapshots (the incremental RCB
+			// update and the previous-labels map used for UpdComm); its
+			// row came from the checkpoint, so the metric legs are
+			// skipped entirely.
+			if t > 0 {
+				mlState.Update(sn.Mesh)
+			}
+			curRCB := make(map[int64]int32, len(mlState.ContactNodes))
+			for i, n := range mlState.ContactNodes {
+				curRCB[sn.NodeID[n]] = mlState.ContactLabels[i]
+			}
+			prevRCB = curRCB
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			// Interrupted: every completed snapshot is already durable in
+			// the checkpoint, so the run can resume exactly here.
+			return nil, err
 		}
 		m := sn.Mesh
 		mcLabels := lookupLabels(sn.NodeID, mcByID)
@@ -264,6 +311,11 @@ func Run(snaps []sim.Snapshot, cfg Config) (*Result, error) {
 		}
 
 		res.Rows = append(res.Rows, row)
+		if ck != nil {
+			if err := ck.record(exp, t+1, row, imbFE, imbContact); err != nil {
+				return nil, fmt.Errorf("harness: checkpoint snapshot %d: %w", t, err)
+			}
+		}
 	}
 
 	n := float64(len(res.Rows))
@@ -294,6 +346,18 @@ func Run(snaps []sim.Snapshot, cfg Config) (*Result, error) {
 func RunAll(snaps []sim.Snapshot, cfgs []Config, workers int) ([]*Result, error) {
 	return pool.Map(workers, len(cfgs), func(i int) (*Result, error) {
 		return Run(snaps, cfgs[i])
+	})
+}
+
+// RunAllResumable is RunAll with checkpoint/restart: progress is
+// flushed to ck after every measured snapshot, cancelling ctx stops
+// the sweep with everything completed so far durable on disk, and a
+// ck loaded from a previous run's file (LoadCheckpoint) resumes each
+// experiment at its saved cursor. A completed-then-resumed sweep
+// returns Results byte-identical to an uninterrupted RunAll.
+func RunAllResumable(ctx context.Context, snaps []sim.Snapshot, cfgs []Config, workers int, ck *Checkpointer) ([]*Result, error) {
+	return pool.Map(workers, len(cfgs), func(i int) (*Result, error) {
+		return run(ctx, snaps, cfgs[i], ck, i)
 	})
 }
 

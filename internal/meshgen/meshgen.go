@@ -7,11 +7,29 @@
 package meshgen
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/geom"
 	"repro/internal/mesh"
 )
+
+// ErrBadSpec is the sentinel wrapped by every input-validation error
+// in this package (degenerate cell counts, non-finite or non-positive
+// geometry, zero-element scenes), so callers can distinguish bad input
+// from internal failures with errors.Is.
+var ErrBadSpec = errors.New("meshgen: bad spec")
+
+// finite reports whether every listed value is a finite float.
+func finite(vals ...float64) bool {
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
 
 // BoxSpec describes a structured hexahedral block: Nx x Ny x Nz cells
 // starting at Origin with per-axis cell sizes H.
@@ -19,6 +37,21 @@ type BoxSpec struct {
 	Nx, Ny, Nz int
 	Origin     geom.Point
 	H          geom.Point
+}
+
+// Validate checks the spec: at least one cell per axis, finite origin,
+// and finite positive cell sizes. All violations wrap ErrBadSpec.
+func (s BoxSpec) Validate() error {
+	if s.Nx < 1 || s.Ny < 1 || s.Nz < 1 {
+		return fmt.Errorf("%w: box cell counts %dx%dx%d (every axis needs >= 1 cell)", ErrBadSpec, s.Nx, s.Ny, s.Nz)
+	}
+	if !finite(s.Origin[0], s.Origin[1], s.Origin[2]) {
+		return fmt.Errorf("%w: non-finite box origin %v", ErrBadSpec, s.Origin)
+	}
+	if !finite(s.H[0], s.H[1], s.H[2]) || s.H[0] <= 0 || s.H[1] <= 0 || s.H[2] <= 0 {
+		return fmt.Errorf("%w: box cell sizes %v (want finite and positive)", ErrBadSpec, s.H)
+	}
+	return nil
 }
 
 // NumNodes returns the node count of the block.
@@ -32,8 +65,12 @@ func (s BoxSpec) nodeID(i, j, k int) int32 {
 	return int32(k*(s.Nx+1)*(s.Ny+1) + j*(s.Nx+1) + i)
 }
 
-// StructuredBox meshes the block with hexahedra.
-func StructuredBox(s BoxSpec) *mesh.Mesh {
+// StructuredBox meshes the block with hexahedra. An invalid spec
+// returns an error wrapping ErrBadSpec.
+func StructuredBox(s BoxSpec) (*mesh.Mesh, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
 	m := &mesh.Mesh{Dim: 3}
 	m.Coords = make([]geom.Point, 0, s.NumNodes())
 	for k := 0; k <= s.Nz; k++ {
@@ -60,7 +97,7 @@ func StructuredBox(s BoxSpec) *mesh.Mesh {
 			}
 		}
 	}
-	return m
+	return m, nil
 }
 
 // hexToTets lists the local node indices of the 6-tetrahedra
@@ -77,9 +114,13 @@ var hexToTets = [6][4]int{
 }
 
 // StructuredTetBox meshes the block with tetrahedra (6 per hex cell),
-// matching the element flavor of the EPIC code used in the paper.
-func StructuredTetBox(s BoxSpec) *mesh.Mesh {
-	hex := StructuredBox(s)
+// matching the element flavor of the EPIC code used in the paper. An
+// invalid spec returns an error wrapping ErrBadSpec.
+func StructuredTetBox(s BoxSpec) (*mesh.Mesh, error) {
+	hex, err := StructuredBox(s)
+	if err != nil {
+		return nil, err
+	}
 	m := &mesh.Mesh{Dim: 3, Coords: hex.Coords}
 	m.EPtr = make([]int32, 1, 6*hex.NumElems()+1)
 	for e := 0; e < hex.NumElems(); e++ {
@@ -91,7 +132,7 @@ func StructuredTetBox(s BoxSpec) *mesh.Mesh {
 			m.EPtr = append(m.EPtr, int32(len(m.ENodes)))
 		}
 	}
-	return m
+	return m, nil
 }
 
 // Grid2DSpec describes a structured 2D quad block.
@@ -101,8 +142,27 @@ type Grid2DSpec struct {
 	H      geom.Point
 }
 
-// StructuredQuadGrid meshes the 2D block with quadrilaterals.
-func StructuredQuadGrid(s Grid2DSpec) *mesh.Mesh {
+// Validate checks the spec: at least one cell per axis, finite origin,
+// and finite positive cell sizes. All violations wrap ErrBadSpec.
+func (s Grid2DSpec) Validate() error {
+	if s.Nx < 1 || s.Ny < 1 {
+		return fmt.Errorf("%w: grid cell counts %dx%d (every axis needs >= 1 cell)", ErrBadSpec, s.Nx, s.Ny)
+	}
+	if !finite(s.Origin[0], s.Origin[1]) {
+		return fmt.Errorf("%w: non-finite grid origin %v", ErrBadSpec, s.Origin)
+	}
+	if !finite(s.H[0], s.H[1]) || s.H[0] <= 0 || s.H[1] <= 0 {
+		return fmt.Errorf("%w: grid cell sizes %v (want finite and positive)", ErrBadSpec, s.H)
+	}
+	return nil
+}
+
+// StructuredQuadGrid meshes the 2D block with quadrilaterals. An
+// invalid spec returns an error wrapping ErrBadSpec.
+func StructuredQuadGrid(s Grid2DSpec) (*mesh.Mesh, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
 	m := &mesh.Mesh{Dim: 2}
 	for j := 0; j <= s.Ny; j++ {
 		for i := 0; i <= s.Nx; i++ {
@@ -121,12 +181,16 @@ func StructuredQuadGrid(s Grid2DSpec) *mesh.Mesh {
 			m.EPtr = append(m.EPtr, int32(len(m.ENodes)))
 		}
 	}
-	return m
+	return m, nil
 }
 
 // StructuredTriGrid meshes the 2D block with triangles (2 per quad).
-func StructuredTriGrid(s Grid2DSpec) *mesh.Mesh {
-	quad := StructuredQuadGrid(s)
+// An invalid spec returns an error wrapping ErrBadSpec.
+func StructuredTriGrid(s Grid2DSpec) (*mesh.Mesh, error) {
+	quad, err := StructuredQuadGrid(s)
+	if err != nil {
+		return nil, err
+	}
 	m := &mesh.Mesh{Dim: 2, Coords: quad.Coords}
 	m.EPtr = []int32{0}
 	for e := 0; e < quad.NumElems(); e++ {
@@ -137,7 +201,7 @@ func StructuredTriGrid(s Grid2DSpec) *mesh.Mesh {
 			m.EPtr = append(m.EPtr, int32(len(m.ENodes)))
 		}
 	}
-	return m
+	return m, nil
 }
 
 // Append merges src into dst (concatenating node and element arrays;

@@ -9,7 +9,10 @@ import (
 
 func TestStructuredBoxCounts(t *testing.T) {
 	s := BoxSpec{Nx: 3, Ny: 2, Nz: 4, Origin: geom.P3(1, 2, 3), H: geom.P3(0.5, 1, 2)}
-	m := StructuredBox(s)
+	m, err := StructuredBox(s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := m.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +33,10 @@ func TestStructuredBoxCounts(t *testing.T) {
 }
 
 func TestStructuredBoxConnectivity(t *testing.T) {
-	m := StructuredBox(BoxSpec{Nx: 2, Ny: 2, Nz: 2, H: geom.P3(1, 1, 1)})
+	m, err := StructuredBox(BoxSpec{Nx: 2, Ny: 2, Nz: 2, H: geom.P3(1, 1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
 	d := m.DualGraph()
 	// 2x2x2 hexes: interior faces = 3 orientations * 2*2*1 ... = 12.
 	if d.NE() != 12 {
@@ -43,7 +49,10 @@ func TestStructuredBoxConnectivity(t *testing.T) {
 }
 
 func TestStructuredTetBoxConforming(t *testing.T) {
-	m := StructuredTetBox(BoxSpec{Nx: 2, Ny: 2, Nz: 2, H: geom.P3(1, 1, 1)})
+	m, err := StructuredTetBox(BoxSpec{Nx: 2, Ny: 2, Nz: 2, H: geom.P3(1, 1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := m.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -64,14 +73,20 @@ func TestStructuredTetBoxConforming(t *testing.T) {
 }
 
 func TestStructuredQuadAndTriGrids(t *testing.T) {
-	q := StructuredQuadGrid(Grid2DSpec{Nx: 4, Ny: 3, H: geom.P2(1, 1)})
+	q, err := StructuredQuadGrid(Grid2DSpec{Nx: 4, Ny: 3, H: geom.P2(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := q.Validate(); err != nil {
 		t.Fatal(err)
 	}
 	if q.NumNodes() != 5*4 || q.NumElems() != 12 {
 		t.Fatalf("quad grid %d nodes %d elems", q.NumNodes(), q.NumElems())
 	}
-	tr := StructuredTriGrid(Grid2DSpec{Nx: 4, Ny: 3, H: geom.P2(1, 1)})
+	tr, err := StructuredTriGrid(Grid2DSpec{Nx: 4, Ny: 3, H: geom.P2(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := tr.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -86,11 +101,18 @@ func TestStructuredQuadAndTriGrids(t *testing.T) {
 }
 
 func TestAppendOffsets(t *testing.T) {
-	a := StructuredBox(BoxSpec{Nx: 1, Ny: 1, Nz: 1, H: geom.P3(1, 1, 1)})
-	b := StructuredBox(BoxSpec{Nx: 1, Ny: 1, Nz: 1, Origin: geom.P3(5, 0, 0), H: geom.P3(1, 1, 1)})
+	a, err := StructuredBox(BoxSpec{Nx: 1, Ny: 1, Nz: 1, H: geom.P3(1, 1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := StructuredBox(BoxSpec{Nx: 1, Ny: 1, Nz: 1, Origin: geom.P3(5, 0, 0), H: geom.P3(1, 1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
 	b.Surface = b.BoundaryFacets()
 	nOff, eOff, err := Append(a, b)
 	if err != nil {
+
 		t.Fatal(err)
 	}
 	if nOff != 8 || eOff != 1 {
@@ -114,7 +136,10 @@ func TestAppendOffsets(t *testing.T) {
 		}
 	}
 	// Dim mismatch is rejected.
-	q := StructuredQuadGrid(Grid2DSpec{Nx: 1, Ny: 1, H: geom.P2(1, 1)})
+	q, err := StructuredQuadGrid(Grid2DSpec{Nx: 1, Ny: 1, H: geom.P2(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, _, err := Append(a, q); err == nil {
 		t.Error("Append accepted 2D mesh into 3D mesh")
 	}
@@ -158,7 +183,7 @@ func TestProjectileScene(t *testing.T) {
 	}
 	nProj := 0
 	for _, s := range m.Surface {
-		if si.BodyOfElem(s.Elem) == Projectile {
+		if b, ok := si.BodyOfElem(s.Elem); ok && b == Projectile {
 			nProj++
 		}
 	}
@@ -167,7 +192,7 @@ func TestProjectileScene(t *testing.T) {
 	}
 	// Plate contact facets stay within the radius (centroid check).
 	for _, s := range m.Surface {
-		if si.BodyOfElem(s.Elem) == Projectile {
+		if b, ok := si.BodyOfElem(s.Elem); ok && b == Projectile {
 			continue
 		}
 		var cx, cy float64
@@ -266,7 +291,7 @@ func TestFullFacesDesignation(t *testing.T) {
 	// plus projectile surface and the radius patch on crater walls.
 	nPlateHoriz := 0
 	for _, s := range m.Surface {
-		if si.BodyOfElem(s.Elem) != Projectile {
+		if b, ok := si.BodyOfElem(s.Elem); !ok || b != Projectile {
 			// All plate contact facets here are horizontal or within
 			// the small radius; count the horizontal ones.
 			z0 := m.Coords[s.Nodes[0]][2]

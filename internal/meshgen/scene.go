@@ -105,14 +105,17 @@ type SceneInfo struct {
 	ProjTip   float64 // initial z of the projectile's lowest face
 }
 
-// BodyOfElem returns which body element e belongs to.
-func (si *SceneInfo) BodyOfElem(e int32) Body {
+// BodyOfElem returns which body element e belongs to. ok is false
+// when e lies outside every body's element range (a stale or corrupt
+// id — e.g. after erosion invalidated the ranges); callers decide
+// whether that is an error.
+func (si *SceneInfo) BodyOfElem(e int32) (Body, bool) {
 	for b := Plate1; b <= Projectile; b++ {
 		if si.Elems[b].Contains(e) {
-			return b
+			return b, true
 		}
 	}
-	panic(fmt.Sprintf("meshgen: element %d outside all bodies", e))
+	return Body(-1), false
 }
 
 // ProjectileScene builds the scene: two stacked plates and a square-rod
@@ -120,10 +123,19 @@ func (si *SceneInfo) BodyOfElem(e int32) Body {
 // has its contact surface designated per cfg.ContactRadius.
 func ProjectileScene(cfg SceneConfig) (*mesh.Mesh, *SceneInfo, error) {
 	if cfg.Refine < 1 {
-		return nil, nil, fmt.Errorf("meshgen: Refine = %d, want >= 1", cfg.Refine)
+		return nil, nil, fmt.Errorf("%w: Refine = %d, want >= 1", ErrBadSpec, cfg.Refine)
 	}
 	if cfg.PlateNX < 2 || cfg.PlateNY < 2 || cfg.PlateNZ < 1 || cfg.ProjN < 1 || cfg.ProjLen < 1 {
-		return nil, nil, fmt.Errorf("meshgen: degenerate cell counts in %+v", cfg)
+		return nil, nil, fmt.Errorf("%w: degenerate cell counts in %+v", ErrBadSpec, cfg)
+	}
+	if !finite(cfg.Cell, cfg.Gap, cfg.Clearance, cfg.ContactRadius, cfg.ImpactOffsetX, cfg.ImpactOffsetY) {
+		return nil, nil, fmt.Errorf("%w: non-finite geometry in %+v", ErrBadSpec, cfg)
+	}
+	if cfg.Cell <= 0 {
+		return nil, nil, fmt.Errorf("%w: Cell = %g, want > 0", ErrBadSpec, cfg.Cell)
+	}
+	if cfg.Gap < 0 || cfg.Clearance < 0 || cfg.ContactRadius < 0 {
+		return nil, nil, fmt.Errorf("%w: negative Gap/Clearance/ContactRadius in %+v", ErrBadSpec, cfg)
 	}
 	r := cfg.Refine
 	h := cfg.Cell / float64(r)
@@ -136,7 +148,7 @@ func ProjectileScene(cfg SceneConfig) (*mesh.Mesh, *SceneInfo, error) {
 	cx, cy := plateW/2+cfg.ImpactOffsetX, plateD/2+cfg.ImpactOffsetY
 	projW0 := float64(cfg.ProjN) * cfg.Cell
 	if cx-projW0/2 < 0 || cx+projW0/2 > plateW || cy-projW0/2 < 0 || cy+projW0/2 > plateD {
-		return nil, nil, fmt.Errorf("meshgen: impact offset (%g, %g) pushes the projectile off the plates", cfg.ImpactOffsetX, cfg.ImpactOffsetY)
+		return nil, nil, fmt.Errorf("%w: impact offset (%g, %g) pushes the projectile off the plates", ErrBadSpec, cfg.ImpactOffsetX, cfg.ImpactOffsetY)
 	}
 
 	si := &SceneInfo{
@@ -149,29 +161,38 @@ func ProjectileScene(cfg SceneConfig) (*mesh.Mesh, *SceneInfo, error) {
 	}
 	si.ProjTip = si.Plate1Top + cfg.Clearance
 
-	build := func(s BoxSpec) *mesh.Mesh {
+	build := func(s BoxSpec) (*mesh.Mesh, error) {
 		if cfg.Tets {
 			return StructuredTetBox(s)
 		}
 		return StructuredBox(s)
 	}
 
-	plate1 := build(BoxSpec{
+	plate1, err := build(BoxSpec{
 		Nx: nx, Ny: ny, Nz: nz,
 		Origin: geom.P3(0, 0, si.Plate1Bot),
 		H:      geom.P3(h, h, h),
 	})
-	plate2 := build(BoxSpec{
+	if err != nil {
+		return nil, nil, err
+	}
+	plate2, err := build(BoxSpec{
 		Nx: nx, Ny: ny, Nz: nz,
 		Origin: geom.P3(0, 0, si.Plate2Bot),
 		H:      geom.P3(h, h, h),
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	projW := float64(cfg.ProjN) * cfg.Cell
-	proj := build(BoxSpec{
+	proj, err := build(BoxSpec{
 		Nx: pn, Ny: pn, Nz: pl,
 		Origin: geom.P3(cx-projW/2, cy-projW/2, si.ProjTip),
 		H:      geom.P3(h, h, h),
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 
 	m := &mesh.Mesh{Dim: 3, EPtr: []int32{0}}
 	bodies := [3]*mesh.Mesh{Plate1: plate1, Plate2: plate2, Projectile: proj}
@@ -197,7 +218,8 @@ func ProjectileScene(cfg SceneConfig) (*mesh.Mesh, *SceneInfo, error) {
 // plus — when cfg.FullFaces is set — every horizontal plate facet.
 func DesignateContact(m *mesh.Mesh, si *SceneInfo) {
 	DesignateContactBy(m, si.Axis, si.Cfg.ContactRadius, si.Cfg.FullFaces, func(e int32) bool {
-		return si.BodyOfElem(e) == Projectile
+		b, ok := si.BodyOfElem(e)
+		return ok && b == Projectile
 	})
 }
 

@@ -1,0 +1,176 @@
+package meshgen
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestBoxSpecValidation table-tests the hex/tet builders' input
+// validation: every rejection must wrap ErrBadSpec (never panic), and
+// valid specs must build.
+func TestBoxSpecValidation(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name string
+		spec BoxSpec
+		ok   bool
+	}{
+		{"valid", BoxSpec{Nx: 2, Ny: 2, Nz: 2, H: geom.P3(1, 1, 1)}, true},
+		{"single_cell", BoxSpec{Nx: 1, Ny: 1, Nz: 1, H: geom.P3(0.5, 2, 3)}, true},
+		{"zero_cells_x", BoxSpec{Nx: 0, Ny: 2, Nz: 2, H: geom.P3(1, 1, 1)}, false},
+		{"negative_cells", BoxSpec{Nx: 2, Ny: -1, Nz: 2, H: geom.P3(1, 1, 1)}, false},
+		{"zero_value_spec", BoxSpec{}, false},
+		{"zero_cell_size", BoxSpec{Nx: 2, Ny: 2, Nz: 2, H: geom.P3(1, 0, 1)}, false},
+		{"negative_cell_size", BoxSpec{Nx: 2, Ny: 2, Nz: 2, H: geom.P3(1, 1, -1)}, false},
+		{"nan_cell_size", BoxSpec{Nx: 2, Ny: 2, Nz: 2, H: geom.P3(1, nan, 1)}, false},
+		{"inf_cell_size", BoxSpec{Nx: 2, Ny: 2, Nz: 2, H: geom.P3(inf, 1, 1)}, false},
+		{"nan_origin", BoxSpec{Nx: 2, Ny: 2, Nz: 2, Origin: geom.P3(nan, 0, 0), H: geom.P3(1, 1, 1)}, false},
+		{"inf_origin", BoxSpec{Nx: 2, Ny: 2, Nz: 2, Origin: geom.P3(0, inf, 0), H: geom.P3(1, 1, 1)}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			for _, build := range []struct {
+				name string
+				fn   func(BoxSpec) (interface{ NumElems() int }, error)
+			}{
+				{"StructuredBox", func(s BoxSpec) (interface{ NumElems() int }, error) { return StructuredBox(s) }},
+				{"StructuredTetBox", func(s BoxSpec) (interface{ NumElems() int }, error) { return StructuredTetBox(s) }},
+			} {
+				m, err := build.fn(c.spec)
+				if c.ok {
+					if err != nil {
+						t.Fatalf("%s: unexpected error: %v", build.name, err)
+					}
+					if m.NumElems() == 0 {
+						t.Fatalf("%s: valid spec built an empty mesh", build.name)
+					}
+					continue
+				}
+				if err == nil {
+					t.Fatalf("%s: invalid spec accepted", build.name)
+				}
+				if !errors.Is(err, ErrBadSpec) {
+					t.Fatalf("%s: error %v does not wrap ErrBadSpec", build.name, err)
+				}
+			}
+		})
+	}
+}
+
+// TestGrid2DSpecValidation is the 2D counterpart.
+func TestGrid2DSpecValidation(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		spec Grid2DSpec
+		ok   bool
+	}{
+		{"valid", Grid2DSpec{Nx: 3, Ny: 2, H: geom.P2(1, 1)}, true},
+		{"zero_cells", Grid2DSpec{Nx: 0, Ny: 2, H: geom.P2(1, 1)}, false},
+		{"zero_value_spec", Grid2DSpec{}, false},
+		{"negative_cell_size", Grid2DSpec{Nx: 2, Ny: 2, H: geom.P2(-1, 1)}, false},
+		{"nan_origin", Grid2DSpec{Nx: 2, Ny: 2, Origin: geom.P2(nan, 0), H: geom.P2(1, 1)}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			for _, build := range []struct {
+				name string
+				fn   func(Grid2DSpec) (interface{ NumElems() int }, error)
+			}{
+				{"StructuredQuadGrid", func(s Grid2DSpec) (interface{ NumElems() int }, error) { return StructuredQuadGrid(s) }},
+				{"StructuredTriGrid", func(s Grid2DSpec) (interface{ NumElems() int }, error) { return StructuredTriGrid(s) }},
+			} {
+				_, err := build.fn(c.spec)
+				if c.ok && err != nil {
+					t.Fatalf("%s: unexpected error: %v", build.name, err)
+				}
+				if !c.ok {
+					if err == nil {
+						t.Fatalf("%s: invalid spec accepted", build.name)
+					}
+					if !errors.Is(err, ErrBadSpec) {
+						t.Fatalf("%s: error %v does not wrap ErrBadSpec", build.name, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSceneConfigValidation table-tests ProjectileScene input
+// rejection: zero-element scenes, non-finite geometry, and off-plate
+// impact offsets all come back as ErrBadSpec errors.
+func TestSceneConfigValidation(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(-1)
+	mod := func(f func(*SceneConfig)) SceneConfig {
+		c := DefaultScene()
+		c.PlateNX, c.PlateNY, c.PlateNZ = 8, 8, 2
+		c.ProjN, c.ProjLen = 2, 4
+		f(&c)
+		return c
+	}
+	cases := []struct {
+		name string
+		cfg  SceneConfig
+		ok   bool
+	}{
+		{"valid", mod(func(c *SceneConfig) {}), true},
+		{"zero_value_config", SceneConfig{}, false},
+		{"refine_zero", mod(func(c *SceneConfig) { c.Refine = 0 }), false},
+		{"refine_negative", mod(func(c *SceneConfig) { c.Refine = -3 }), false},
+		{"zero_plate_cells", mod(func(c *SceneConfig) { c.PlateNZ = 0 }), false},
+		{"zero_projectile", mod(func(c *SceneConfig) { c.ProjN = 0 }), false},
+		{"zero_cell_size", mod(func(c *SceneConfig) { c.Cell = 0 }), false},
+		{"negative_cell_size", mod(func(c *SceneConfig) { c.Cell = -1 }), false},
+		{"nan_cell", mod(func(c *SceneConfig) { c.Cell = nan }), false},
+		{"inf_gap", mod(func(c *SceneConfig) { c.Gap = inf }), false},
+		{"nan_offset", mod(func(c *SceneConfig) { c.ImpactOffsetX = nan }), false},
+		{"nan_radius", mod(func(c *SceneConfig) { c.ContactRadius = nan }), false},
+		{"negative_radius", mod(func(c *SceneConfig) { c.ContactRadius = -1 }), false},
+		{"offset_off_plate", mod(func(c *SceneConfig) { c.ImpactOffsetY = 1e6 }), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m, _, err := ProjectileScene(c.cfg)
+			if c.ok {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if m.NumElems() == 0 {
+					t.Fatal("valid scene has zero elements")
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("invalid scene config accepted")
+			}
+			if !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("error %v does not wrap ErrBadSpec", err)
+			}
+		})
+	}
+}
+
+// TestBodyOfElemOutOfRange: a stale element id reports !ok instead of
+// panicking.
+func TestBodyOfElemOutOfRange(t *testing.T) {
+	cfg := DefaultScene()
+	cfg.PlateNX, cfg.PlateNY, cfg.PlateNZ = 8, 8, 2
+	cfg.ProjN, cfg.ProjLen = 2, 4
+	m, si, err := ProjectileScene(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := si.BodyOfElem(int32(m.NumElems())); ok {
+		t.Error("out-of-range element id mapped to a body")
+	}
+	if _, ok := si.BodyOfElem(-1); ok {
+		t.Error("negative element id mapped to a body")
+	}
+	if b, ok := si.BodyOfElem(0); !ok || b != Plate1 {
+		t.Errorf("element 0 = (%v, %v), want (Plate1, true)", b, ok)
+	}
+}

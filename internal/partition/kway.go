@@ -58,10 +58,13 @@ func KWay(g *graph.Graph, opt Options) ([]int32, error) {
 		}
 	} else {
 		grp := pool.NewGroup(context.Background(), opt.Workers)
-		grp.Submit(func(ctx context.Context) error {
+		serr := grp.Submit(func(ctx context.Context) error {
 			return rb(ctx, grp, g, ids, opt.K, 0, labels, epsBis, opt, opt.Seed, 0, cutoff)
 		})
 		err := grp.Wait()
+		if err == nil {
+			err = serr
+		}
 		if st := grp.Stats(); opt.Obs != nil {
 			opt.Obs.Add("partition_rb_tasks", st.Tasks)
 			opt.Obs.Max("partition_rb_workers_max", int64(st.MaxWorkers))

@@ -132,18 +132,26 @@ func NewGroup(ctx context.Context, workers int) *Group {
 }
 
 // Submit enqueues fn as a group task. Safe from inside other tasks.
-// If the group is already cancelled the task is dropped immediately.
-// Submitting after Wait has returned panics.
-func (g *Group) Submit(fn func(ctx context.Context) error) {
+// If the group is already cancelled the task is counted as dropped and
+// Submit returns the context error instead of silently queueing work
+// that would never run — the submitter learns immediately that its
+// branch is dead. Submitting after Wait has returned panics.
+func (g *Group) Submit(fn func(ctx context.Context) error) error {
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
 		panic("pool: Submit on a finished Group")
 	}
+	if err := g.ctx.Err(); err != nil {
+		g.dropped++
+		g.mu.Unlock()
+		return err
+	}
 	g.pending++
 	g.queue = append(g.queue, fn)
 	g.cond.Broadcast()
 	g.mu.Unlock()
+	return nil
 }
 
 // Fork is the cutoff-gated scheduling helper shared by the recursive
@@ -152,17 +160,22 @@ func (g *Group) Submit(fn func(ctx context.Context) error) {
 // returns nil immediately), anything smaller runs inline on the
 // calling goroutine so small subtrees don't pay scheduling overhead.
 // The inline path returns fn's error; callers propagate it so the
-// group cancels exactly as it would for a submitted task. Inline
-// panics are not intercepted here — when Fork is called from inside a
-// task the worker's recovery catches them, and on the strictly serial
-// path (nil *Group, also valid) they reach the caller unchanged.
+// group cancels exactly as it would for a submitted task. On a
+// cancelled group Fork returns the context error without running or
+// queueing fn (the recursion is already dead; starting more of it
+// only delays Wait). Inline panics are not intercepted here — when
+// Fork is called from inside a task the worker's recovery catches
+// them, and on the strictly serial path (nil *Group, also valid) they
+// reach the caller unchanged.
 func (g *Group) Fork(size, cutoff int, fn func(ctx context.Context) error) error {
 	if g != nil && size >= cutoff {
-		g.Submit(fn)
-		return nil
+		return g.Submit(fn)
 	}
 	ctx := context.Background()
 	if g != nil {
+		if err := g.ctx.Err(); err != nil {
+			return err
+		}
 		ctx = g.ctx
 	}
 	return fn(ctx)

@@ -157,7 +157,9 @@ func TestGroupRecursiveFanOut(t *testing.T) {
 				return nil
 			}
 			mid := (lo + hi) / 2
-			g.Submit(split(lo, mid))
+			if err := g.Submit(split(lo, mid)); err != nil {
+				return err
+			}
 			return split(mid, hi)(ctx)
 		}
 	}
@@ -223,6 +225,66 @@ func TestGroupExternalCancellationStopsQueuedTasks(t *testing.T) {
 	}
 	if n := ran.Load(); n != 0 {
 		t.Errorf("%d queued tasks ran after cancellation", n)
+	}
+}
+
+func TestGroupSubmitAfterCancelReturnsError(t *testing.T) {
+	// Regression: Submit on a cancelled group used to queue the task
+	// silently (it would be dropped later without the submitter ever
+	// learning); it must return the context error immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	g := NewGroup(ctx, 2)
+	cancel()
+	ran := false
+	err := g.Submit(func(ctx context.Context) error {
+		ran = true
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Submit after cancel = %v, want context.Canceled", err)
+	}
+	if werr := g.Wait(); !errors.Is(werr, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", werr)
+	}
+	if ran {
+		t.Error("task submitted after cancellation ran")
+	}
+	if st := g.Stats(); st.Dropped != 1 {
+		t.Errorf("dropped = %d, want 1", st.Dropped)
+	}
+}
+
+func TestGroupCancellationMidFork(t *testing.T) {
+	// Regression: a recursive task whose group is cancelled mid-fork
+	// must get the context error back from Fork — on both the submit
+	// path (size >= cutoff) and the inline path — instead of silently
+	// continuing the recursion.
+	ctx, cancel := context.WithCancel(context.Background())
+	g := NewGroup(ctx, 2)
+	forkErrs := make(chan error, 2)
+	ran := make(chan struct{}, 2)
+	g.Submit(func(ctx context.Context) error {
+		cancel() // the "failure" happens while this task is mid-recursion
+		forkErrs <- g.Fork(100, 10, func(ctx context.Context) error {
+			ran <- struct{}{}
+			return nil
+		})
+		forkErrs <- g.Fork(1, 10, func(ctx context.Context) error {
+			ran <- struct{}{}
+			return nil
+		})
+		return nil
+	})
+	g.Wait()
+	for i := 0; i < 2; i++ {
+		if err := <-forkErrs; !errors.Is(err, context.Canceled) {
+			t.Errorf("Fork %d after cancel = %v, want context.Canceled", i, err)
+		}
+	}
+	select {
+	case <-ran:
+		t.Error("forked task ran after cancellation")
+	default:
 	}
 }
 

@@ -92,10 +92,14 @@ func build(grp *pool.Group, pts []geom.Point, idx []int32, labels []int32, dim, 
 	cut := cutBetween(pts, idx, d, nL)
 	n := &node{dim: d, cut: cut, kLeft: kL}
 	left := idx[:nL]
-	grp.Fork(len(idx), parallelBuildCutoff, func(ctx context.Context) error {
+	if err := grp.Fork(len(idx), parallelBuildCutoff, func(ctx context.Context) error {
 		n.left = build(grp, pts, left, labels, dim, base, kL)
 		return nil
-	})
+	}); err != nil {
+		// The group is cancelled: Wait will surface the cause and the
+		// partial tree is discarded, so stop recursing here.
+		return n
+	}
 	n.right = build(grp, pts, idx[nL:], labels, dim, base+kL, k-kL)
 	return n
 }

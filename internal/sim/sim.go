@@ -122,7 +122,11 @@ func New(cfg Config) (*Sim, error) {
 		s.nodeID[v] = int64(v)
 	}
 	for e := range s.elemBody {
-		s.elemBody[e] = info.BodyOfElem(int32(e))
+		b, ok := info.BodyOfElem(int32(e))
+		if !ok {
+			return nil, fmt.Errorf("sim: element %d outside every scene body", e)
+		}
+		s.elemBody[e] = b
 	}
 	travel := (info.ProjTip - info.Plate2Bot) + cfg.ExitMargin
 	s.speed = travel / float64(cfg.Steps)

@@ -1,0 +1,94 @@
+package transport
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// Faulty decorates a Transport with a deterministic fault.Plan: each
+// Send consults the plan and is then delivered, dropped, delivered
+// twice, or delivered late (Delay and Reorder both hold the message
+// in a timer goroutine; Reorder's shorter latency lets the sender's
+// next message overtake it). Recv passes through unchanged — faults
+// are injected on the send side so a dropped message is never
+// observable anywhere.
+//
+// Every injection is counted on the obs collector:
+// transport_drops_injected, transport_delays_injected,
+// transport_dups_injected, transport_reorders_injected.
+type Faulty struct {
+	inner Transport
+	plan  *fault.Plan
+	col   *obs.Collector
+
+	ctx    context.Context // bounds in-flight delayed deliveries
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// NewFaulty wraps inner with the plan. col may be nil. Close must be
+// called when the exchange is over to reap in-flight delayed
+// deliveries.
+func NewFaulty(inner Transport, plan *fault.Plan, col *obs.Collector) *Faulty {
+	f := &Faulty{inner: inner, plan: plan, col: col}
+	f.ctx, f.cancel = context.WithCancel(context.Background())
+	return f
+}
+
+// Send implements Transport, applying the plan's action for this
+// message attempt.
+func (f *Faulty) Send(ctx context.Context, msg Message) error {
+	action := f.plan.MessageAction(msg.From, msg.To, msg.Phase, int(msg.Kind), msg.Attempt)
+	switch action {
+	case fault.Drop:
+		f.col.Add("transport_drops_injected", 1)
+		return nil
+	case fault.Duplicate:
+		f.col.Add("transport_dups_injected", 1)
+		if err := f.inner.Send(ctx, msg); err != nil {
+			return err
+		}
+		return f.inner.Send(ctx, msg)
+	case fault.Delay, fault.Reorder:
+		if action == fault.Delay {
+			f.col.Add("transport_delays_injected", 1)
+		} else {
+			f.col.Add("transport_reorders_injected", 1)
+		}
+		f.deliverLate(msg, f.plan.Latency(action))
+		return nil
+	}
+	return f.inner.Send(ctx, msg)
+}
+
+// deliverLate hands msg to a timer goroutine that completes the send
+// after d, unless Close has reaped the transport first.
+func (f *Faulty) deliverLate(msg Message, d time.Duration) {
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			_ = f.inner.Send(f.ctx, msg) // best-effort: late send races Close
+		case <-f.ctx.Done():
+		}
+	}()
+}
+
+// Recv implements Transport.
+func (f *Faulty) Recv(ctx context.Context, rank int) (Message, error) {
+	return f.inner.Recv(ctx, rank)
+}
+
+// Close cancels in-flight delayed deliveries and waits for their
+// goroutines to exit. The transport must not be used afterwards.
+func (f *Faulty) Close() {
+	f.cancel()
+	f.wg.Wait()
+}

@@ -1,0 +1,104 @@
+// Package transport abstracts the rank-to-rank message exchange the
+// parallel engine runs on. The engine's k workers stand in for MPI
+// ranks; a Transport carries their phase-1 ghost batches and phase-2
+// element shipments (plus the acknowledgements the resilience layer
+// adds) between ranks, honoring context deadlines so a slow or dead
+// peer surfaces as an error instead of a deadlock.
+//
+// Direct is the in-memory implementation: one buffered channel per
+// rank, reproducing the seed engine's channel semantics bit-for-bit.
+// Faulty decorates any Transport with a deterministic fault.Plan —
+// dropped, delayed, duplicated, and reordered deliveries — for chaos
+// testing the recovery machinery above it.
+package transport
+
+import (
+	"context"
+	"fmt"
+)
+
+// Kind distinguishes payload messages from acknowledgements.
+type Kind uint8
+
+const (
+	// Data carries a phase batch (ghost nodes or shipped elements).
+	Data Kind = iota
+	// Ack acknowledges receipt of a Data message.
+	Ack
+)
+
+func (k Kind) String() string {
+	if k == Ack {
+		return "ack"
+	}
+	return "data"
+}
+
+// Message is one rank-to-rank datagram. Attempt numbers retransmits
+// of the same logical batch: (From, Phase, Kind) identifies the
+// logical message, so receivers deduplicate retries by that key and
+// retried deliveries can never change the computation's results.
+type Message struct {
+	From, To int
+	Phase    int
+	Kind     Kind
+	Attempt  int
+	Payload  []int32
+}
+
+// Transport moves messages between ranks. Implementations must be
+// safe for concurrent use by all ranks, and Send must not block
+// indefinitely when the receiver's inbox has capacity.
+type Transport interface {
+	// Send delivers msg toward rank msg.To, honoring ctx cancellation
+	// and deadline.
+	Send(ctx context.Context, msg Message) error
+	// Recv takes the next message addressed to rank, honoring ctx
+	// cancellation and deadline.
+	Recv(ctx context.Context, rank int) (Message, error)
+}
+
+// Direct is the in-memory Transport: one buffered channel per rank.
+type Direct struct {
+	inbox []chan Message
+}
+
+// NewDirect creates a Direct transport for k ranks with the given
+// per-rank inbox capacity (capacity < 1 selects a safe default large
+// enough for a full two-phase all-to-all exchange with retries).
+func NewDirect(k, capacity int) *Direct {
+	if capacity < 1 {
+		capacity = 16 * (k + 1)
+	}
+	d := &Direct{inbox: make([]chan Message, k)}
+	for i := range d.inbox {
+		d.inbox[i] = make(chan Message, capacity)
+	}
+	return d
+}
+
+// Send implements Transport.
+func (d *Direct) Send(ctx context.Context, msg Message) error {
+	if msg.To < 0 || msg.To >= len(d.inbox) {
+		return fmt.Errorf("transport: send to rank %d of %d", msg.To, len(d.inbox))
+	}
+	select {
+	case d.inbox[msg.To] <- msg:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Recv implements Transport.
+func (d *Direct) Recv(ctx context.Context, rank int) (Message, error) {
+	if rank < 0 || rank >= len(d.inbox) {
+		return Message{}, fmt.Errorf("transport: recv at rank %d of %d", rank, len(d.inbox))
+	}
+	select {
+	case msg := <-d.inbox[rank]:
+		return msg, nil
+	case <-ctx.Done():
+		return Message{}, ctx.Err()
+	}
+}

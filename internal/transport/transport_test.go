@@ -1,0 +1,209 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+func TestDirectSendRecv(t *testing.T) {
+	d := NewDirect(3, 0)
+	ctx := context.Background()
+	want := Message{From: 0, To: 2, Phase: 1, Kind: Data, Payload: []int32{7, 8, 9}}
+	if err := d.Send(ctx, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Recv(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != 0 || got.To != 2 || got.Phase != 1 || got.Kind != Data || len(got.Payload) != 3 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestDirectFIFOPerRank(t *testing.T) {
+	d := NewDirect(2, 0)
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		if err := d.Send(ctx, Message{From: 0, To: 1, Phase: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		m, err := d.Recv(ctx, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Phase != i {
+			t.Fatalf("message %d arrived with phase %d: not FIFO", i, m.Phase)
+		}
+	}
+}
+
+func TestDirectRecvHonorsDeadline(t *testing.T) {
+	d := NewDirect(2, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	_, err := d.Recv(ctx, 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Recv on empty inbox: %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(t0); d > 5*time.Second {
+		t.Fatalf("Recv blocked %v past its deadline", d)
+	}
+}
+
+func TestDirectSendHonorsCancellation(t *testing.T) {
+	d := NewDirect(1, 1)
+	ctx := context.Background()
+	if err := d.Send(ctx, Message{To: 0}); err != nil {
+		t.Fatal(err) // fills the capacity-1 inbox
+	}
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := d.Send(cctx, Message{To: 0}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Send to full inbox with cancelled ctx: %v, want Canceled", err)
+	}
+}
+
+func TestDirectRejectsBadRank(t *testing.T) {
+	d := NewDirect(2, 0)
+	ctx := context.Background()
+	if err := d.Send(ctx, Message{To: 5}); err == nil {
+		t.Error("Send to out-of-range rank accepted")
+	}
+	if err := d.Send(ctx, Message{To: -1}); err == nil {
+		t.Error("Send to negative rank accepted")
+	}
+	if _, err := d.Recv(ctx, 2); err == nil {
+		t.Error("Recv at out-of-range rank accepted")
+	}
+}
+
+// counter reads an obs counter by name from the report.
+func counter(t *testing.T, col *obs.Collector, name string) int64 {
+	t.Helper()
+	for _, c := range col.Report().Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+func TestFaultyDropCounted(t *testing.T) {
+	col := obs.New()
+	f := NewFaulty(NewDirect(2, 0), &fault.Plan{DropProb: 1}, col)
+	defer f.Close()
+	ctx := context.Background()
+	if err := f.Send(ctx, Message{From: 0, To: 1, Phase: 1}); err != nil {
+		t.Fatal(err)
+	}
+	rctx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if _, err := f.Recv(rctx, 1); err == nil {
+		t.Fatal("dropped message was delivered")
+	}
+	if n := counter(t, col, "transport_drops_injected"); n != 1 {
+		t.Errorf("transport_drops_injected = %d, want 1", n)
+	}
+}
+
+func TestFaultyDuplicateDeliversTwice(t *testing.T) {
+	col := obs.New()
+	f := NewFaulty(NewDirect(2, 0), &fault.Plan{DupProb: 1}, col)
+	defer f.Close()
+	ctx := context.Background()
+	if err := f.Send(ctx, Message{From: 0, To: 1, Phase: 2, Attempt: 0}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		m, err := f.Recv(ctx, 1)
+		if err != nil {
+			t.Fatalf("copy %d: %v", i, err)
+		}
+		if m.Phase != 2 {
+			t.Fatalf("copy %d: %+v", i, m)
+		}
+	}
+	if n := counter(t, col, "transport_dups_injected"); n != 1 {
+		t.Errorf("transport_dups_injected = %d, want 1", n)
+	}
+}
+
+func TestFaultyDelayStillDelivers(t *testing.T) {
+	col := obs.New()
+	f := NewFaulty(NewDirect(2, 0), &fault.Plan{DelayProb: 1, DelayFor: time.Millisecond}, col)
+	defer f.Close()
+	ctx := context.Background()
+	if err := f.Send(ctx, Message{From: 0, To: 1, Phase: 3}); err != nil {
+		t.Fatal(err)
+	}
+	rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	m, err := f.Recv(rctx, 1)
+	if err != nil {
+		t.Fatalf("delayed message never arrived: %v", err)
+	}
+	if m.Phase != 3 {
+		t.Fatalf("got %+v", m)
+	}
+	if n := counter(t, col, "transport_delays_injected"); n != 1 {
+		t.Errorf("transport_delays_injected = %d, want 1", n)
+	}
+}
+
+// TestFaultyCloseReapsInFlight: Close returns even with an hour-long
+// delayed delivery pending, and the message is never delivered after.
+func TestFaultyCloseReapsInFlight(t *testing.T) {
+	inner := NewDirect(2, 0)
+	f := NewFaulty(inner, &fault.Plan{DelayProb: 1, DelayFor: time.Hour}, nil)
+	if err := f.Send(context.Background(), Message{From: 0, To: 1}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		f.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not reap the in-flight delayed delivery")
+	}
+	rctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := inner.Recv(rctx, 1); err == nil {
+		t.Error("reaped delivery still arrived")
+	}
+}
+
+// TestFaultyNilPlanPassthrough: a Faulty with a nil plan and nil
+// collector behaves exactly like the inner transport.
+func TestFaultyNilPlanPassthrough(t *testing.T) {
+	f := NewFaulty(NewDirect(2, 0), nil, nil)
+	defer f.Close()
+	ctx := context.Background()
+	if err := f.Send(ctx, Message{From: 1, To: 0, Phase: 9}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := f.Recv(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Phase != 9 {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Data.String() != "data" || Ack.String() != "ack" {
+		t.Errorf("Kind strings: %q, %q", Data.String(), Ack.String())
+	}
+}
