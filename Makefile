@@ -4,9 +4,9 @@
 # parallel engine workers, and the parallel recursive-bisection
 # partitioner), and a short fuzz smoke per native fuzz target.
 
-.PHONY: check vet test race fuzz-smoke chaos bench
+.PHONY: check vet test race fuzz-smoke chaos bench trace
 
-check: vet race chaos fuzz-smoke
+check: vet race chaos fuzz-smoke trace
 
 vet:
 	go vet ./...
@@ -33,6 +33,19 @@ chaos:
 		-run 'Chaos|Fault|Corrupt|Degrade|Retry|Transport|Direct|Faulty|Checkpoint|Resume|Cancel|Maybe|MessageAction|Latency|Active|Nil' \
 		./internal/engine ./internal/transport ./internal/fault \
 		./internal/harness ./internal/pool
+
+# End-to-end trace gate: a short traced sweep with the engine leg and
+# first-attempt-only fault injection, validated by tracecheck — the
+# trace must be well-formed (balanced B/E, monotonic per-lane
+# timestamps) and contain spans/events from all four pipeline layers:
+# harness snapshots, engine rank phases, transport exchanges (with
+# injected-fault and retry events), and bisection tasks.
+TRACE_OUT := $(if $(TMPDIR),$(TMPDIR),/tmp)/contactbench-trace.json
+trace:
+	go run ./cmd/contactbench -quick -snapshots 3 -k 4 -engine -chaos 1 -trace $(TRACE_OUT)
+	go run ./tools/tracecheck \
+		-require experiment,snapshot,mc_leg,ml_leg,rank,ghost_exchange,global_search,local_search,transport_exchange,rb_task,retry,fault_drop \
+		$(TRACE_OUT)
 
 # Microbenchmarks plus the serial-vs-parallel KWay comparison; the
 # latter rewrites BENCH_partition.json (checked in for provenance —

@@ -51,21 +51,26 @@ func run() int {
 	log.SetFlags(0)
 	log.SetPrefix("contactbench: ")
 	var (
-		kList     = flag.String("k", "25,100", "comma-separated partition counts")
-		refine    = flag.Int("refine", 0, "override scene refinement")
-		snapshots = flag.Int("snapshots", 0, "override snapshot count")
-		quick     = flag.Bool("quick", false, "small scene and 10 snapshots (seconds instead of minutes)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		ablate    = flag.Bool("ablate", false, "also run the design-choice ablations")
-		sweep     = flag.Bool("sweep", false, "run the Section 4.2 max_p/max_i sensitivity sweep")
-		csvPath   = flag.String("csv", "", "also write per-snapshot metric rows to this CSV file")
-		workers   = flag.Int("workers", 0, "worker-pool size for the concurrent k-sweep (0 = GOMAXPROCS)")
-		phases    = flag.Bool("phases", false, "print the per-phase timing/counter table")
-		obsPath   = flag.String("obs", "", "write the per-phase observability report (JSON) to this file")
-		cpuProf   = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
-		memProf   = flag.String("memprofile", "", "write a runtime/pprof heap profile to this file")
-		ckptPath  = flag.String("checkpoint", "", "checkpoint sweep progress to this file after every snapshot")
-		resume    = flag.Bool("resume", false, "resume the sweep from the -checkpoint file")
+		kList      = flag.String("k", "25,100", "comma-separated partition counts")
+		refine     = flag.Int("refine", 0, "override scene refinement")
+		snapshots  = flag.Int("snapshots", 0, "override snapshot count")
+		quick      = flag.Bool("quick", false, "small scene and 10 snapshots (seconds instead of minutes)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		ablate     = flag.Bool("ablate", false, "also run the design-choice ablations")
+		sweep      = flag.Bool("sweep", false, "run the Section 4.2 max_p/max_i sensitivity sweep")
+		csvPath    = flag.String("csv", "", "also write per-snapshot metric rows to this CSV file")
+		workers    = flag.Int("workers", 0, "worker-pool size for the concurrent k-sweep (0 = GOMAXPROCS)")
+		phases     = flag.Bool("phases", false, "print the per-phase timing/counter table")
+		obsPath    = flag.String("obs", "", "write the per-phase observability report (JSON) to this file")
+		cpuProf    = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a runtime/pprof heap profile to this file")
+		ckptPath   = flag.String("checkpoint", "", "checkpoint sweep progress to this file after every snapshot")
+		resume     = flag.Bool("resume", false, "resume the sweep from the -checkpoint file")
+		tracePath  = flag.String("trace", "", "write a Chrome trace-event JSON timeline (Perfetto/chrome://tracing) to this file")
+		httpAddr   = flag.String("http", "", "serve /metrics, /progress, and /debug/pprof/* on this address during the run (e.g. :6060)")
+		seriesPath = flag.String("series", "", "write the per-snapshot metric/eval-time series to this file (.csv for CSV, else JSON)")
+		engineLeg  = flag.Bool("engine", false, "also run one resilient engine iteration per k on the first snapshot")
+		chaosSeed  = flag.Int64("chaos", 0, "with -engine: inject deterministic first-attempt transport faults from this seed (0 = off)")
 	)
 	flag.Parse()
 	if *resume && *ckptPath == "" {
@@ -143,8 +148,15 @@ func run() int {
 	}
 
 	col := obs.New()
+	var tracer *obs.Tracer
+	var rootSpan *obs.Span
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+		rootSpan = tracer.Root("contactbench")
+	}
 	// writeObs flushes the observability outputs; it runs on success
-	// AND on interruption so a killed sweep still leaves its report.
+	// AND on interruption so a killed sweep still leaves its report
+	// and trace.
 	writeObs := func() int {
 		if *phases {
 			fmt.Println("\nPer-phase timings and counters:")
@@ -156,6 +168,14 @@ func run() int {
 				return 1
 			}
 			fmt.Printf("wrote observability report to %s\n", *obsPath)
+		}
+		if tracer != nil {
+			rootSpan.End()
+			if err := tracer.WriteTraceFile(*tracePath); err != nil {
+				log.Print(err)
+				return 1
+			}
+			fmt.Printf("wrote trace to %s\n", *tracePath)
 		}
 		return 0
 	}
@@ -173,6 +193,15 @@ func run() int {
 				ck = loaded
 				fmt.Println("resuming from checkpoint:")
 				ck.WriteSummary(os.Stdout, cfgs)
+				// Fold the previous run's observability report into the
+				// live collector so the final report covers the whole
+				// sweep, not just the post-resume part.
+				if rep := ck.SavedObs(); rep != nil {
+					if err := col.Merge(*rep); err != nil {
+						log.Print(err)
+						return 1
+					}
+				}
 			case errors.Is(lerr, os.ErrNotExist):
 				log.Printf("no checkpoint at %s; starting fresh", *ckptPath)
 			default:
@@ -186,8 +215,23 @@ func run() int {
 		ck.Obs = col
 	}
 
+	prog := harness.NewProgress(len(snaps), cfgs)
+	if *httpAddr != "" {
+		addr, err := startServer(*httpAddr, col, prog)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		fmt.Printf("serving /metrics, /progress, /debug/pprof on http://%s\n", addr)
+	}
+
 	t1 := time.Now()
-	results, err := harness.RunAllResumable(ctx, snaps, cfgs, *workers, ck)
+	results, err := harness.RunSweep(ctx, snaps, cfgs, harness.SweepOptions{
+		Workers:    *workers,
+		Checkpoint: ck,
+		Progress:   prog,
+		Span:       rootSpan,
+	})
 	if err != nil {
 		if ctx.Err() != nil {
 			if ck != nil {
@@ -228,6 +272,34 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("\nwrote per-snapshot rows to %s\n", *csvPath)
+	}
+
+	if *seriesPath != "" {
+		f, err := os.Create(*seriesPath)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		if strings.HasSuffix(*seriesPath, ".csv") {
+			err = harness.WriteSeriesCSV(f, results)
+		} else {
+			err = harness.WriteSeriesJSON(f, results)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		fmt.Printf("wrote per-snapshot series to %s\n", *seriesPath)
+	}
+
+	if *engineLeg {
+		if err := runEngineLeg(snaps[0], ks, *seed, *chaosSeed, col, rootSpan); err != nil {
+			log.Print(err)
+			return 1
+		}
 	}
 
 	if *ablate {

@@ -1,0 +1,78 @@
+package main
+
+// The live observability endpoint (-http): while a sweep runs, a
+// background HTTP server exposes
+//
+//	/metrics          the obs report (phases, counters, gauges,
+//	                  histograms) plus runtime/metrics samples (heap,
+//	                  GC, goroutines) as JSON
+//	/progress         the sweep cursor: per experiment, snapshot i of N
+//	/debug/pprof/*    the standard net/http/pprof handlers
+//
+// The server binds before the sweep starts (so the printed URL is
+// usable immediately) and lives until the process exits.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
+	"runtime/metrics"
+
+	"repro/internal/harness"
+	"repro/internal/obs"
+)
+
+// runtimeSamples reads a fixed set of runtime/metrics samples into a
+// name -> value map for the /metrics body.
+func runtimeSamples() map[string]any {
+	names := []string{
+		"/memory/classes/heap/objects:bytes",
+		"/memory/classes/total:bytes",
+		"/gc/cycles/total:gc-cycles",
+		"/gc/heap/allocs:bytes",
+		"/sched/goroutines:goroutines",
+	}
+	samples := make([]metrics.Sample, len(names))
+	for i, n := range names {
+		samples[i].Name = n
+	}
+	metrics.Read(samples)
+	out := make(map[string]any, len(samples))
+	for _, s := range samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			out[s.Name] = s.Value.Uint64()
+		case metrics.KindFloat64:
+			out[s.Name] = s.Value.Float64()
+		}
+	}
+	return out
+}
+
+// startServer binds addr and serves the observability endpoints in a
+// background goroutine. Returns the resolved listen address
+// (":0" picks a free port).
+func startServer(addr string, col *obs.Collector, prog *harness.Progress) (string, error) {
+	mux := http.DefaultServeMux // net/http/pprof registered itself here
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(struct {
+			Obs     obs.Report     `json:"obs"`
+			Runtime map[string]any `json:"runtime"`
+		}{col.Report(), runtimeSamples()})
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = prog.WriteJSON(w)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("contactbench: -http %s: %w", addr, err)
+	}
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr().String(), nil
+}

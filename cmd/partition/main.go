@@ -257,12 +257,15 @@ func benchPartition(graphPath, meshPath string, k int, seed int64, imbalance flo
 				l.BestNS = ns
 			}
 			labels = out
-			for _, c := range col.Report().Counters {
-				switch c.Name {
-				case "partition_rb_tasks":
+			rep := col.Report()
+			for _, c := range rep.Counters {
+				if c.Name == "partition_rb_tasks" {
 					l.Tasks = c.Value
-				case "partition_rb_workers_max":
-					l.MaxWork = c.Value
+				}
+			}
+			for _, g := range rep.Gauges {
+				if g.Name == "partition_rb_workers_max" {
+					l.MaxWork = g.Value
 				}
 			}
 		}

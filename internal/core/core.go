@@ -71,6 +71,11 @@ type Config struct {
 	// Obs, when non-nil, receives per-phase wall-clock timings
 	// ("partition", "tree_induction") for every pipeline run.
 	Obs *obs.Collector
+	// Span, when non-nil, is the parent trace span: the pipeline
+	// records "partition" and "tree_induction" child spans under it,
+	// and the partitioner's bisection tasks record "rb_task" spans on
+	// the "rb" track. Nil disables tracing at zero cost.
+	Span *obs.Span
 }
 
 func (c Config) withDefaults(n int) Config {
@@ -128,8 +133,9 @@ func Decompose(m *mesh.Mesh, cfg Config) (*Decomposition, error) {
 	cfg = cfg.withDefaults(m.NumNodes())
 	g := m.NodalGraph(cfg.Nodal)
 
-	popt := partition.Options{K: cfg.K, Seed: cfg.Seed, Imbalance: cfg.Imbalance, Obs: cfg.Obs}
+	popt := partition.Options{K: cfg.K, Seed: cfg.Seed, Imbalance: cfg.Imbalance, Obs: cfg.Obs, Span: cfg.Span}
 	stopPart := cfg.Obs.Start("partition")
+	partSpan := cfg.Span.Child("partition", obs.Int("k", int64(cfg.K)), obs.Int("nv", int64(g.NV())))
 	var raw []int32
 	var err error
 	if cfg.Geometric {
@@ -137,6 +143,7 @@ func Decompose(m *mesh.Mesh, cfg Config) (*Decomposition, error) {
 	} else {
 		raw, err = partition.Partition(g, popt)
 	}
+	partSpan.End()
 	stopPart()
 	if err != nil {
 		return nil, err
@@ -180,10 +187,12 @@ func Redecompose(m *mesh.Mesh, prevLabels []int32, cfg Config) (*Decomposition, 
 	cfg = cfg.withDefaults(m.NumNodes())
 	g := m.NodalGraph(cfg.Nodal)
 
-	popt := partition.Options{K: cfg.K, Seed: cfg.Seed, Imbalance: cfg.Imbalance, Obs: cfg.Obs}
+	popt := partition.Options{K: cfg.K, Seed: cfg.Seed, Imbalance: cfg.Imbalance, Obs: cfg.Obs, Span: cfg.Span}
 	stopPart := cfg.Obs.Start("partition")
+	partSpan := cfg.Span.Child("partition", obs.Int("k", int64(cfg.K)), obs.Int("nv", int64(g.NV())))
 	labels := append([]int32(nil), prevLabels...)
 	migrated, err := partition.Repartition(g, labels, partition.RepartitionOptions{Options: popt})
+	partSpan.End()
 	stopPart()
 	if err != nil {
 		return nil, 0, err
@@ -211,12 +220,14 @@ func Redecompose(m *mesh.Mesh, prevLabels []int32, cfg Config) (*Decomposition, 
 func (d *Decomposition) reshape(m *mesh.Mesh, popt partition.Options) error {
 	cfg := d.Cfg
 	stopTree := cfg.Obs.Start("tree_induction")
+	treeSpan := cfg.Span.Child("tree_induction", obs.Str("mode", "guidance"))
 	gt, err := dtree.Build(m.Coords, d.Labels, m.Dim, cfg.K, dtree.Options{
 		Mode:      dtree.Guidance,
 		MaxPure:   cfg.MaxPure,
 		MaxImpure: cfg.MaxImpure,
 		Parallel:  cfg.Parallel,
 	})
+	treeSpan.End()
 	stopTree()
 	if err != nil {
 		return err
@@ -285,11 +296,13 @@ func DescriptorFor(m *mesh.Mesh, labels []int32, cfg Config) (*dtree.Tree, []int
 		k = 1
 	}
 	stopTree := cfg.Obs.Start("tree_induction")
+	treeSpan := cfg.Span.Child("tree_induction", obs.Str("mode", "descriptor"))
 	tree, err := dtree.Build(pts, cl, m.Dim, k, dtree.Options{
 		Mode:           dtree.Descriptor,
 		Parallel:       cfg.Parallel,
 		PreferWideGaps: cfg.WideGaps,
 	})
+	treeSpan.End()
 	stopTree()
 	if err != nil {
 		return nil, nil, nil, nil, err

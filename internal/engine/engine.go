@@ -124,6 +124,7 @@ func RunOpts(m *mesh.Mesh, d *core.Decomposition, tol float64, opts Options) (*S
 	// traffic and the same pairs, so a recovered iteration is
 	// numerically indistinguishable from a fault-free one.
 	opts.Obs.Add("engine_degraded_iters", 1)
+	opts.Span.Event("serial_degrade", obs.Int("failed_ranks", int64(len(failed))))
 	st, serr := it.runSerial(opts)
 	if serr != nil {
 		return nil, fmt.Errorf("engine: parallel iteration failed (%v) and serial recovery failed: %w", perr, serr)
@@ -142,6 +143,7 @@ func (st *Stats) finalize(col *obs.Collector) {
 	for p := range st.PerWorker {
 		st.GhostUnits += st.PerWorker[p].GhostsSent
 		st.ElemsShipped += st.PerWorker[p].ElemsSent
+		col.Hist("rank_pairs", int64(st.PerWorker[p].PairsDetected))
 	}
 	col.Add("ghost_units", st.GhostUnits)
 	col.Add("elems_shipped", st.ElemsShipped)

@@ -16,6 +16,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
@@ -61,6 +63,13 @@ type Options struct {
 	// Obs receives phase timers and the resilience counters
 	// (transport_retries, transport_*_injected, engine_degraded_iters).
 	Obs *obs.Collector
+	// Span, when non-nil, is the parent span of this iteration: each
+	// rank gets a child span on its own "rank<r>" track, each engine
+	// phase a nested span, each exchange a "transport_exchange" span
+	// with "retry" instant events, and injected faults appear as
+	// events on the exchange timeline. Nil disables tracing at zero
+	// cost.
+	Span *obs.Span
 }
 
 func (o Options) withDefaults() Options {
@@ -174,6 +183,13 @@ func (w *worker) exchange(ctx context.Context, phase int, batches [][]int32) ([]
 	if k == 1 {
 		return got, nil
 	}
+	ctx, xs := obs.StartSpan(ctx, "transport_exchange", obs.Int("phase", int64(phase)))
+	defer xs.End()
+	for to := 0; to < k; to++ {
+		if to != w.rank {
+			w.opts.Obs.Hist("transport_msg_items", int64(len(batches[to])))
+		}
+	}
 	gotFrom := w.seen[phase]
 	gotFrom[w.rank] = true
 	acked := make([]bool, k)
@@ -234,6 +250,9 @@ func (w *worker) exchange(ctx context.Context, phase int, batches [][]int32) ([]
 				// Retry round: resend every unacknowledged batch.
 				attempt++
 				w.retries++
+				xs.Event("retry",
+					obs.Int("attempt", int64(attempt)),
+					obs.Int("unacked", int64(k-nAck)))
 				backoff *= 2
 				if err := send(attempt); err != nil {
 					return nil, err
@@ -306,7 +325,9 @@ func (it *iteration) runWorker(ctx context.Context, w *worker, opts Options, ws 
 	// --- Phase 1: ghost exchange (all-to-all personalized). ---
 	opts.Fault.MaybePanic(rank, phaseGhost)
 	opts.Fault.MaybeStall(ctx, rank, phaseGhost)
-	ghosts, err := w.exchange(ctx, phaseGhost, it.ghostSend[rank])
+	gctx, gs := obs.StartSpan(ctx, "ghost_exchange")
+	ghosts, err := w.exchange(gctx, phaseGhost, it.ghostSend[rank])
+	gs.End()
 	if err != nil {
 		return nil, err
 	}
@@ -324,6 +345,8 @@ func (it *iteration) runWorker(ctx context.Context, w *worker, opts Options, ws 
 	opts.Fault.MaybePanic(rank, phaseElems)
 	opts.Fault.MaybeStall(ctx, rank, phaseElems)
 	stopGlobal := opts.Obs.Start("global_search")
+	gsCtx, gsSpan := obs.StartSpan(ctx, "global_search")
+	defer gsSpan.End() // idempotent; covers the error exits
 	defer func() {
 		if stopGlobal != nil {
 			stopGlobal()
@@ -342,8 +365,11 @@ func (it *iteration) runWorker(ctx context.Context, w *worker, opts Options, ws 
 		Labels:     it.d.ContactLabels,
 		TightBoxes: tree.PointBoxes(it.d.ContactPoints),
 	}
-	sendElems := it.sendElemsFor(rank, filter, make([]bool, it.k))
-	gotElems, err := w.exchange(ctx, phaseElems, sendElems)
+	var sendElems [][]int32
+	pprof.Do(gsCtx, pprof.Labels("phase", "global_search"), func(context.Context) {
+		sendElems = it.sendElemsFor(rank, filter, make([]bool, it.k))
+	})
+	gotElems, err := w.exchange(gsCtx, phaseElems, sendElems)
 	if err != nil {
 		return nil, err
 	}
@@ -358,11 +384,16 @@ func (it *iteration) runWorker(ctx context.Context, w *worker, opts Options, ws 
 	}
 	stopGlobal()
 	stopGlobal = nil
+	gsSpan.End()
 
 	// --- Phase 3: local search over own + received elements. ---
 	opts.Fault.MaybePanic(rank, phaseLocal)
 	stopLocal := opts.Obs.Start("local_search")
-	pairs = localSearch(it.m, it.boxes, it.owners, it.elemsOf[rank], received, rank, it.tol)
+	_, lsSpan := obs.StartSpan(ctx, "local_search")
+	pprof.Do(ctx, pprof.Labels("phase", "local_search"), func(context.Context) {
+		pairs = localSearch(it.m, it.boxes, it.owners, it.elemsOf[rank], received, rank, it.tol)
+	})
+	lsSpan.End()
 	stopLocal()
 	ws.PairsDetected = len(pairs)
 	return pairs, nil
@@ -404,19 +435,26 @@ func (it *iteration) runParallel(opts Options) (*Stats, []int, error) {
 	for p := 0; p < k; p++ {
 		go func(rank int) {
 			defer allWG.Done()
-			w := newWorker(rank, k, tp, &opts)
-			prs, err := it.runWorker(ctx, w, opts, &stats.PerWorker[rank])
-			pairs[rank] = prs
-			errs[rank] = err
-			retriesMu.Lock()
-			retries += w.retries
-			retriesMu.Unlock()
-			if err != nil {
-				cancel() // abandon the iteration; peers unblock via ctx
-			}
-			mainWG.Done()
-			// Keep acking late retransmits until everyone is done.
-			w.drain(drainCtx)
+			pprof.Do(ctx, pprof.Labels("rank", strconv.Itoa(rank)), func(ctx context.Context) {
+				rankSpan := opts.Span.Child("rank",
+					obs.Int("rank", int64(rank)),
+					obs.Track(fmt.Sprintf("rank%d", rank)))
+				ctx = obs.ContextWithSpan(ctx, rankSpan)
+				w := newWorker(rank, k, tp, &opts)
+				prs, err := it.runWorker(ctx, w, opts, &stats.PerWorker[rank])
+				rankSpan.End()
+				pairs[rank] = prs
+				errs[rank] = err
+				retriesMu.Lock()
+				retries += w.retries
+				retriesMu.Unlock()
+				if err != nil {
+					cancel() // abandon the iteration; peers unblock via ctx
+				}
+				mainWG.Done()
+				// Keep acking late retransmits until everyone is done.
+				w.drain(drainCtx)
+			})
 		}(p)
 	}
 	mainWG.Wait()

@@ -33,7 +33,11 @@ import (
 // schema or the meaning of any field changes; older files are
 // rejected with ErrCheckpointMismatch (a sweep is cheap to restart
 // relative to the cost of silently mixing formats).
-const CheckpointVersion = 1
+//
+// Version history: 1 — cursor/rows/imbalance per experiment;
+// 2 — adds per-snapshot leg eval times (experiments[].evals) and the
+// cumulative observability report (obs).
+const CheckpointVersion = 2
 
 // ErrCheckpointMismatch reports a checkpoint that cannot resume the
 // requested workload: wrong format version or wrong config hash.
@@ -46,17 +50,25 @@ var ErrCheckpointMismatch = errors.New("harness: checkpoint does not match this 
 // fast-forwarding, which keeps the checkpoint small and the format
 // stable.)
 type experimentState struct {
-	Cursor     int     `json:"cursor"`
-	Rows       []Row   `json:"rows"`
-	ImbFE      float64 `json:"imb_fe"`
-	ImbContact float64 `json:"imb_contact"`
+	Cursor     int         `json:"cursor"`
+	Rows       []Row       `json:"rows"`
+	Evals      []EvalTimes `json:"evals"`
+	ImbFE      float64     `json:"imb_fe"`
+	ImbContact float64     `json:"imb_contact"`
 }
 
-// checkpointFile is the on-disk schema.
+// checkpointFile is the on-disk schema. Obs is the cumulative
+// observability report as of the last flush: a resumed run merges it
+// into its live collector (Collector.Merge), so the final report
+// covers the whole sweep, not just the post-resume part. One caveat:
+// the report is captured just before each flush, so it cannot contain
+// that flush's own checkpoint_write sample — a killed run loses
+// exactly the in-flight write's record, nothing else.
 type checkpointFile struct {
 	Version     int               `json:"version"`
 	ConfigHash  string            `json:"config_hash"`
 	Experiments []experimentState `json:"experiments"`
+	Obs         *obs.Report       `json:"obs,omitempty"`
 }
 
 // Checkpointer persists sweep progress. It is shared by the
@@ -133,9 +145,9 @@ func LoadCheckpoint(path string, snaps []sim.Snapshot, cfgs []Config) (*Checkpoi
 			ErrCheckpointMismatch, len(file.Experiments), len(cfgs))
 	}
 	for i, st := range file.Experiments {
-		if st.Cursor < 0 || st.Cursor > len(snaps) || len(st.Rows) != st.Cursor {
-			return nil, fmt.Errorf("%w: experiment %d has cursor %d with %d rows over %d snapshots",
-				ErrCheckpointMismatch, i, st.Cursor, len(st.Rows), len(snaps))
+		if st.Cursor < 0 || st.Cursor > len(snaps) || len(st.Rows) != st.Cursor || len(st.Evals) != st.Cursor {
+			return nil, fmt.Errorf("%w: experiment %d has cursor %d with %d rows, %d evals over %d snapshots",
+				ErrCheckpointMismatch, i, st.Cursor, len(st.Rows), len(st.Evals), len(snaps))
 		}
 	}
 	return &Checkpointer{path: path, file: file}, nil
@@ -147,19 +159,40 @@ func (c *Checkpointer) state(exp int) experimentState {
 	defer c.mu.Unlock()
 	st := c.file.Experiments[exp]
 	st.Rows = append([]Row(nil), st.Rows...)
+	st.Evals = append([]EvalTimes(nil), st.Evals...)
 	return st
 }
 
+// SavedObs returns the observability report persisted by the run that
+// wrote the checkpoint (nil when absent). Merge it into the live
+// collector before resuming so the final report is cumulative over
+// the whole sweep.
+func (c *Checkpointer) SavedObs() *obs.Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.file.Obs
+}
+
 // record appends one completed snapshot to an experiment and flushes
-// the whole checkpoint atomically.
-func (c *Checkpointer) record(exp, cursor int, row Row, imbFE, imbContact float64) error {
+// the whole checkpoint atomically, together with the collector's
+// current cumulative report (when Obs is set).
+func (c *Checkpointer) record(exp, cursor int, row Row, ev EvalTimes, imbFE, imbContact float64) error {
 	stop := c.Obs.Start("checkpoint_write")
+	var rep *obs.Report
+	if c.Obs != nil {
+		r := c.Obs.Report()
+		rep = &r
+	}
 	c.mu.Lock()
 	st := &c.file.Experiments[exp]
 	st.Rows = append(st.Rows, row)
+	st.Evals = append(st.Evals, ev)
 	st.Cursor = cursor
 	st.ImbFE = imbFE
 	st.ImbContact = imbContact
+	if rep != nil {
+		c.file.Obs = rep
+	}
 	err := c.flushLocked()
 	c.mu.Unlock()
 	stop()

@@ -22,6 +22,7 @@ import (
 	"io"
 	"strconv"
 	"text/tabwriter"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/mesh"
@@ -113,11 +114,25 @@ func (r *Row) add(o Row) {
 	r.MLNRemote += o.MLNRemote
 }
 
+// EvalTimes is the measured wall clock of one snapshot's two
+// measurement legs. It feeds the per-snapshot time series (series.go)
+// and is persisted in the checkpoint so a resumed sweep's series is
+// complete.
+type EvalTimes struct {
+	MCNS int64 `json:"mc_ns"`
+	MLNS int64 `json:"ml_ns"`
+}
+
 // Result is an experiment's outcome.
 type Result struct {
 	K         int
 	Snapshots int
 	Rows      []Row
+	// evals holds per-snapshot leg wall-clock times, parallel to Rows.
+	// Unexported on purpose: timing is nondeterministic, and Result's
+	// JSON form must stay byte-identical across checkpoint resumes.
+	// Series (series.go) is the exported view.
+	evals []EvalTimes
 	// Avg holds the per-snapshot averages (UpdComm is averaged over
 	// snapshots 1..n-1, since no update happens at snapshot 0).
 	Avg struct {
@@ -130,7 +145,7 @@ type Result struct {
 
 // Run executes the experiment over the snapshot sequence.
 func Run(snaps []sim.Snapshot, cfg Config) (*Result, error) {
-	return run(context.Background(), snaps, cfg, nil, 0)
+	return run(context.Background(), snaps, cfg, nil, 0, nil)
 }
 
 // run is the checkpoint-aware experiment loop. When ck is non-nil it
@@ -144,11 +159,19 @@ func Run(snaps []sim.Snapshot, cfg Config) (*Result, error) {
 // context cancellation returns ctx.Err() with all completed snapshots
 // durably checkpointed. The Result of a resumed run is byte-identical
 // to an uninterrupted one.
-func run(ctx context.Context, snaps []sim.Snapshot, cfg Config, ck *Checkpointer, exp int) (*Result, error) {
+func run(ctx context.Context, snaps []sim.Snapshot, cfg Config, ck *Checkpointer, exp int, prog *Progress) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if len(snaps) == 0 {
 		return nil, fmt.Errorf("harness: no snapshots")
 	}
+
+	// When the context carries a trace span, this experiment records a
+	// span tree under it: one "experiment" span per config on its own
+	// track, one "snapshot" span per measured snapshot, one leg span
+	// per measurement leg. With no span in ctx all of this is free.
+	ctx, expSpan := obs.StartSpan(ctx, "experiment",
+		obs.Int("k", int64(cfg.K)), obs.Track(fmt.Sprintf("harness k=%d", cfg.K)))
+	defer expSpan.End()
 
 	coreCfg := core.Config{
 		K:         cfg.K,
@@ -167,6 +190,7 @@ func run(ctx context.Context, snaps []sim.Snapshot, cfg Config, ck *Checkpointer
 		WideGaps:    cfg.WideGaps,
 		Parallel:    true,
 		Obs:         cfg.Obs,
+		Span:        expSpan,
 	}
 	mlCfg := mlrcb.Config{K: cfg.K, Seed: cfg.Seed, Imbalance: cfg.Imbalance}
 
@@ -184,8 +208,10 @@ func run(ctx context.Context, snaps []sim.Snapshot, cfg Config, ck *Checkpointer
 		st := ck.state(exp)
 		start = st.Cursor
 		res.Rows = append(res.Rows, st.Rows...)
+		res.evals = append(res.evals, st.Evals...)
 		imbFE, imbContact = st.ImbFE, st.ImbContact
 	}
+	prog.set(exp, start)
 
 	decompose := func(sn sim.Snapshot) error {
 		d, err := core.Decompose(sn.Mesh, coreCfg)
@@ -245,6 +271,8 @@ func run(ctx context.Context, snaps []sim.Snapshot, cfg Config, ck *Checkpointer
 
 		g := m.NodalGraph(mesh.NodalGraphOptions{NCon: 2})
 		var row Row
+		var ev EvalTimes
+		sctx, snapSpan := obs.StartSpan(ctx, "snapshot", obs.Int("t", int64(t)))
 
 		// The two measurement legs are independent — the MC leg reads
 		// only MCML+DT state and writes only the MC* fields of row
@@ -255,6 +283,9 @@ func run(ctx context.Context, snaps []sim.Snapshot, cfg Config, ck *Checkpointer
 		// path.
 		mcLeg := func() error {
 			defer cfg.Obs.Start("metric_eval")()
+			_, leg := obs.StartSpan(sctx, "mc_leg")
+			t0 := time.Now()
+			defer func() { ev.MCNS = int64(time.Since(t0)); leg.End() }()
 			row.MCFEComm = metrics.CommVolume(g, mcLabels, cfg.K)
 
 			// MCML+DT: refresh the descriptor tree for the moved
@@ -274,6 +305,9 @@ func run(ctx context.Context, snaps []sim.Snapshot, cfg Config, ck *Checkpointer
 		}
 		mlLeg := func() error {
 			defer cfg.Obs.Start("metric_eval")()
+			_, leg := obs.StartSpan(sctx, "ml_leg")
+			t0 := time.Now()
+			defer func() { ev.MLNS = int64(time.Since(t0)); leg.End() }()
 			row.MLFEComm = metrics.CommVolume(g, mlLabels, cfg.K)
 
 			// ML+RCB: incremental RCB update, then the decoupling costs.
@@ -306,16 +340,20 @@ func run(ctx context.Context, snaps []sim.Snapshot, cfg Config, ck *Checkpointer
 		if cfg.SerialLegs {
 			legWorkers = 1
 		}
-		if err := pool.Run(legWorkers, mcLeg, mlLeg); err != nil {
+		err := pool.Run(legWorkers, mcLeg, mlLeg)
+		snapSpan.End()
+		if err != nil {
 			return nil, err
 		}
 
 		res.Rows = append(res.Rows, row)
+		res.evals = append(res.evals, ev)
 		if ck != nil {
-			if err := ck.record(exp, t+1, row, imbFE, imbContact); err != nil {
+			if err := ck.record(exp, t+1, row, ev, imbFE, imbContact); err != nil {
 				return nil, fmt.Errorf("harness: checkpoint snapshot %d: %w", t, err)
 			}
 		}
+		prog.set(exp, t+1)
 	}
 
 	n := float64(len(res.Rows))
@@ -337,28 +375,52 @@ func run(ctx context.Context, snaps []sim.Snapshot, cfg Config, ck *Checkpointer
 	return res, nil
 }
 
-// RunAll executes independent experiment configs (typically a k-sweep)
-// concurrently on a bounded worker pool and returns the results in
-// config order. workers <= 0 selects GOMAXPROCS. Each experiment is
-// internally deterministic for its seed, so the returned Results are
-// identical to running the configs serially — concurrency only buys
-// wall-clock time. A panicking experiment surfaces as a *pool.PanicError.
-func RunAll(snaps []sim.Snapshot, cfgs []Config, workers int) ([]*Result, error) {
-	return pool.Map(workers, len(cfgs), func(i int) (*Result, error) {
-		return Run(snaps, cfgs[i])
+// SweepOptions configures RunSweep beyond the experiment configs
+// themselves. The zero value is a plain concurrent sweep on
+// GOMAXPROCS workers with no checkpointing, no progress tracking, and
+// no tracing.
+type SweepOptions struct {
+	// Workers bounds the experiment worker pool (<= 0 = GOMAXPROCS).
+	Workers int
+	// Checkpoint, when non-nil, makes the sweep resumable: progress is
+	// flushed after every measured snapshot, and a Checkpointer loaded
+	// from a previous run's file resumes each experiment at its saved
+	// cursor. A completed-then-resumed sweep returns Results
+	// byte-identical to an uninterrupted one.
+	Checkpoint *Checkpointer
+	// Progress, when non-nil, receives live per-experiment cursor
+	// updates (the /progress endpoint's source).
+	Progress *Progress
+	// Span, when non-nil, is the parent trace span: every experiment,
+	// snapshot, and measurement leg records a span beneath it.
+	Span *obs.Span
+}
+
+// RunSweep executes independent experiment configs (typically a
+// k-sweep) concurrently on a bounded worker pool and returns the
+// results in config order. Each experiment is internally
+// deterministic for its seed, so the returned Results are identical
+// to running the configs serially — concurrency only buys wall-clock
+// time. A panicking experiment surfaces as a *pool.PanicError;
+// cancelling ctx stops the sweep with everything completed so far
+// durable in the checkpoint (if any).
+func RunSweep(ctx context.Context, snaps []sim.Snapshot, cfgs []Config, o SweepOptions) ([]*Result, error) {
+	ctx = obs.ContextWithSpan(ctx, o.Span)
+	return pool.Map(o.Workers, len(cfgs), func(i int) (*Result, error) {
+		return run(ctx, snaps, cfgs[i], o.Checkpoint, i, o.Progress)
 	})
 }
 
-// RunAllResumable is RunAll with checkpoint/restart: progress is
-// flushed to ck after every measured snapshot, cancelling ctx stops
-// the sweep with everything completed so far durable on disk, and a
-// ck loaded from a previous run's file (LoadCheckpoint) resumes each
-// experiment at its saved cursor. A completed-then-resumed sweep
-// returns Results byte-identical to an uninterrupted RunAll.
+// RunAll is RunSweep with default options over a background context.
+// workers <= 0 selects GOMAXPROCS.
+func RunAll(snaps []sim.Snapshot, cfgs []Config, workers int) ([]*Result, error) {
+	return RunSweep(context.Background(), snaps, cfgs, SweepOptions{Workers: workers})
+}
+
+// RunAllResumable is RunSweep with checkpoint/restart and nothing
+// else; see SweepOptions.Checkpoint.
 func RunAllResumable(ctx context.Context, snaps []sim.Snapshot, cfgs []Config, workers int, ck *Checkpointer) ([]*Result, error) {
-	return pool.Map(workers, len(cfgs), func(i int) (*Result, error) {
-		return run(ctx, snaps, cfgs[i], ck, i)
-	})
+	return RunSweep(ctx, snaps, cfgs, SweepOptions{Workers: workers, Checkpoint: ck})
 }
 
 // labelMap builds a persistent-id -> label map.

@@ -1,0 +1,95 @@
+package harness
+
+// Live sweep progress. A Progress is shared between the concurrently
+// running experiments of a sweep (each calls set after finishing a
+// snapshot) and whoever wants to watch — contactbench's /progress
+// endpoint serves Snapshot as JSON while the sweep runs. A nil
+// *Progress is valid everywhere and records nothing.
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress tracks how far each experiment of a sweep has advanced.
+type Progress struct {
+	mu        sync.Mutex
+	snapshots int
+	ks        []int
+	cursors   []int
+	started   time.Time
+}
+
+// NewProgress sizes a tracker for a sweep of cfgs over snapshots
+// snapshots each.
+func NewProgress(snapshots int, cfgs []Config) *Progress {
+	p := &Progress{
+		snapshots: snapshots,
+		ks:        make([]int, len(cfgs)),
+		cursors:   make([]int, len(cfgs)),
+		started:   time.Now(),
+	}
+	for i, c := range cfgs {
+		p.ks[i] = c.K
+	}
+	return p
+}
+
+// set records that experiment exp has cursor snapshots fully measured
+// (monotonic: a smaller cursor never overwrites a larger one).
+func (p *Progress) set(exp, cursor int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if exp >= 0 && exp < len(p.cursors) && cursor > p.cursors[exp] {
+		p.cursors[exp] = cursor
+	}
+	p.mu.Unlock()
+}
+
+// ExperimentProgress is one experiment's cursor in a ProgressSnapshot.
+type ExperimentProgress struct {
+	K    int `json:"k"`
+	Done int `json:"done"`
+}
+
+// ProgressSnapshot is a consistent view of the sweep cursor: per
+// experiment, snapshot Done of Snapshots is measured.
+type ProgressSnapshot struct {
+	Snapshots   int                  `json:"snapshots"`
+	Done        int                  `json:"done"`
+	Total       int                  `json:"total"`
+	ElapsedSec  float64              `json:"elapsed_sec"`
+	Experiments []ExperimentProgress `json:"experiments"`
+}
+
+// Snapshot returns the current cursor state. Safe to call while the
+// sweep runs.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	var s ProgressSnapshot
+	if p == nil {
+		return s
+	}
+	p.mu.Lock()
+	s.Snapshots = p.snapshots
+	s.Total = p.snapshots * len(p.cursors)
+	s.ElapsedSec = time.Since(p.started).Seconds()
+	s.Experiments = make([]ExperimentProgress, len(p.cursors))
+	for i, c := range p.cursors {
+		s.Experiments[i] = ExperimentProgress{K: p.ks[i], Done: c}
+		s.Done += c
+	}
+	p.mu.Unlock()
+	return s
+}
+
+// WriteJSON emits the current snapshot as JSON (the /progress
+// endpoint's body).
+func (p *Progress) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(p.Snapshot())
+}

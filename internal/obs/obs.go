@@ -31,13 +31,15 @@ import (
 	"time"
 )
 
-// Collector accumulates phase timings and counters. The zero value is
-// ready to use; so is nil (every method no-ops).
+// Collector accumulates phase timings, counters, gauges, and
+// histograms. The zero value is ready to use; so is nil (every method
+// no-ops).
 type Collector struct {
 	mu       sync.Mutex
 	timers   map[string]*timer
 	counters map[string]int64
 	maxes    map[string]int64
+	hists    map[string]*hist
 }
 
 type timer struct {
@@ -59,7 +61,9 @@ func (c *Collector) Start(name string) func() {
 	return func() { c.Observe(name, time.Since(t0)) }
 }
 
-// Observe records one completed occurrence of the named phase.
+// Observe records one completed occurrence of the named phase. The
+// duration also feeds a histogram of the same name (in nanoseconds),
+// so every phase timer reports p50/p90/p99 latency for free.
 func (c *Collector) Observe(name string, d time.Duration) {
 	if c == nil {
 		return
@@ -78,6 +82,7 @@ func (c *Collector) Observe(name string, d time.Duration) {
 	if d > t.max {
 		t.max = d
 	}
+	c.histLocked(name, int64(d))
 	c.mu.Unlock()
 }
 
@@ -95,8 +100,9 @@ func (c *Collector) Add(name string, delta int64) {
 }
 
 // Max records the maximum of v seen under the named gauge (e.g. the
-// peak number of busy partitioner workers). Gauges are reported
-// alongside counters.
+// peak number of busy partitioner workers). Gauges are reported in
+// Report.Gauges, separate from Counters, so a counter and a gauge
+// sharing a name can never collide into two same-named entries.
 func (c *Collector) Max(name string, v int64) {
 	if c == nil {
 		return
@@ -130,12 +136,16 @@ type CounterStat struct {
 	Value int64  `json:"value"`
 }
 
-// Report is the exportable snapshot of a collector. Phases and
-// Counters are sorted by name so reports are deterministic and
-// diffable.
+// Report is the exportable snapshot of a collector. Every slice is
+// sorted by name so reports are deterministic and diffable. Gauges
+// (Collector.Max) are reported separately from Counters
+// (Collector.Add): the two namespaces are independent, so a counter
+// and a gauge sharing a name stay two distinct, unambiguous entries.
 type Report struct {
 	Phases   []PhaseStat   `json:"phases"`
 	Counters []CounterStat `json:"counters"`
+	Gauges   []CounterStat `json:"gauges,omitempty"`
+	Hists    []HistStat    `json:"hists,omitempty"`
 }
 
 // Report snapshots the collector. Safe to call while recording
@@ -160,24 +170,85 @@ func (c *Collector) Report() Report {
 		r.Counters = append(r.Counters, CounterStat{Name: name, Value: v})
 	}
 	for name, v := range c.maxes {
-		r.Counters = append(r.Counters, CounterStat{Name: name, Value: v})
+		r.Gauges = append(r.Gauges, CounterStat{Name: name, Value: v})
+	}
+	for name, h := range c.hists {
+		r.Hists = append(r.Hists, h.stat(name))
 	}
 	c.mu.Unlock()
 	sort.Slice(r.Phases, func(i, j int) bool { return r.Phases[i].Name < r.Phases[j].Name })
 	sort.Slice(r.Counters, func(i, j int) bool { return r.Counters[i].Name < r.Counters[j].Name })
+	sort.Slice(r.Gauges, func(i, j int) bool { return r.Gauges[i].Name < r.Gauges[j].Name })
+	sort.Slice(r.Hists, func(i, j int) bool { return r.Hists[i].Name < r.Hists[j].Name })
 	return r
+}
+
+// Merge folds a previously exported report back into the collector:
+// phase counts/totals and counters add, gauges and phase maxima take
+// the larger value, histogram buckets add exactly (bucket indexes are
+// part of the schema). It is the resume path for checkpointed sweeps —
+// a merged collector reports cumulative numbers, not
+// post-resume-only.
+func (c *Collector) Merge(r Report) error {
+	if c == nil {
+		return nil
+	}
+	for _, p := range r.Phases {
+		c.mu.Lock()
+		if c.timers == nil {
+			c.timers = map[string]*timer{}
+		}
+		t := c.timers[p.Name]
+		if t == nil {
+			t = &timer{}
+			c.timers[p.Name] = t
+		}
+		t.count += p.Count
+		t.total += time.Duration(p.TotalNS)
+		if m := time.Duration(p.MaxNS); m > t.max {
+			t.max = m
+		}
+		c.mu.Unlock()
+	}
+	for _, ct := range r.Counters {
+		c.Add(ct.Name, ct.Value)
+	}
+	for _, g := range r.Gauges {
+		c.Max(g.Name, g.Value)
+	}
+	for _, hs := range r.Hists {
+		c.mu.Lock()
+		if c.hists == nil {
+			c.hists = map[string]*hist{}
+		}
+		h := c.hists[hs.Name]
+		if h == nil {
+			h = &hist{}
+			c.hists[hs.Name] = h
+		}
+		err := h.merge(hs)
+		c.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // WriteJSON emits the report as indented JSON (the schema documented
 // in README.md: {"phases":[{name,count,total_ns,avg_ns,max_ns}],
-// "counters":[{name,value}]}).
+// "counters":[{name,value}], "gauges":[{name,value}],
+// "hists":[{name,count,sum,min,max,p50,p90,p99,buckets}]}).
 func (r Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
 }
 
-// WriteTable renders the report for humans.
+// WriteTable renders the report for humans, including a
+// sparkline-style rendering of each histogram's distribution.
+// Histograms named after a phase hold nanoseconds and are rendered as
+// durations; all others are raw values.
 func (r Report) WriteTable(w io.Writer) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	if len(r.Phases) > 0 {
@@ -193,6 +264,30 @@ func (r Report) WriteTable(w io.Writer) {
 		fmt.Fprintln(tw, "counter\tvalue\t\t\t")
 		for _, c := range r.Counters {
 			fmt.Fprintf(tw, "%s\t%d\t\t\t\n", c.Name, c.Value)
+		}
+	}
+	if len(r.Gauges) > 0 {
+		fmt.Fprintln(tw, "gauge\tvalue\t\t\t")
+		for _, g := range r.Gauges {
+			fmt.Fprintf(tw, "%s\t%d\t\t\t\n", g.Name, g.Value)
+		}
+	}
+	if len(r.Hists) > 0 {
+		isPhase := make(map[string]bool, len(r.Phases))
+		for _, p := range r.Phases {
+			isPhase[p.Name] = true
+		}
+		fmtVal := func(name string, v int64) string {
+			if isPhase[name] {
+				return time.Duration(v).Round(time.Microsecond).String()
+			}
+			return fmt.Sprintf("%d", v)
+		}
+		fmt.Fprintln(tw, "histogram\tp50\tp90\tp99\tdist")
+		for _, h := range r.Hists {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n", h.Name,
+				fmtVal(h.Name, h.P50), fmtVal(h.Name, h.P90), fmtVal(h.Name, h.P99),
+				sparkline(h, 16))
 		}
 	}
 	tw.Flush()

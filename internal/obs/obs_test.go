@@ -128,3 +128,114 @@ func TestWriteTable(t *testing.T) {
 		}
 	}
 }
+
+// TestGaugeCounterNoCollision: a counter and a gauge sharing a name
+// must surface as two distinct entries (Counters vs Gauges), never as
+// two ambiguous same-named rows in one list.
+func TestGaugeCounterNoCollision(t *testing.T) {
+	c := New()
+	c.Add("workers", 3)
+	c.Max("workers", 8)
+	r := c.Report()
+	if len(r.Counters) != 1 || r.Counters[0].Name != "workers" || r.Counters[0].Value != 3 {
+		t.Errorf("counters: %+v", r.Counters)
+	}
+	if len(r.Gauges) != 1 || r.Gauges[0].Name != "workers" || r.Gauges[0].Value != 8 {
+		t.Errorf("gauges: %+v", r.Gauges)
+	}
+}
+
+// TestConcurrentAllRecorders hammers every recording entry point from
+// many goroutines; run under -race this is the collector's
+// thread-safety gate.
+func TestConcurrentAllRecorders(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c.Start("timed")()
+				c.Observe("phase", time.Duration(i+1))
+				c.Add("count", 1)
+				c.Max("peak", int64(g*1000+i))
+				c.Hist("dist", int64(i))
+				if i%50 == 0 {
+					_ = c.Report() // snapshots race recording
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	r := c.Report()
+	if r.Phases[0].Count != 1600 { // "phase": 8*200
+		t.Errorf("lost phase updates: %+v", r.Phases)
+	}
+	var dist HistStat
+	for _, h := range r.Hists {
+		if h.Name == "dist" {
+			dist = h
+		}
+	}
+	if dist.Count != 1600 {
+		t.Errorf("lost hist updates: %+v", dist)
+	}
+	if len(r.Gauges) != 1 || r.Gauges[0].Value != 7199 {
+		t.Errorf("gauge: %+v", r.Gauges)
+	}
+}
+
+// TestReportJSONDeterministic: identical recorded state must serialize
+// to identical bytes regardless of insertion order — reports are
+// diffed and checkpointed, so byte stability is part of the contract.
+func TestReportJSONDeterministic(t *testing.T) {
+	build := func(order []int) []byte {
+		c := New()
+		names := []string{"zeta", "alpha", "mid"}
+		for _, i := range order {
+			c.Observe(names[i], time.Duration(10*(i+1)))
+			c.Add("c_"+names[i], int64(i+1))
+			c.Max("g_"+names[i], int64(i+10))
+			c.Hist("h_"+names[i], int64(i+100))
+		}
+		var buf bytes.Buffer
+		if err := c.Report().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := build([]int{0, 1, 2})
+	b := build([]int{2, 1, 0})
+	if !bytes.Equal(a, b) {
+		t.Errorf("insertion order leaked into JSON:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestMergeCumulative: merging a saved report then recording more must
+// report cumulative totals — the -resume path's obs contract.
+func TestMergeCumulative(t *testing.T) {
+	before := New()
+	before.Observe("partition", 100)
+	before.Add("checkpoint_writes", 4)
+	before.Max("rb_workers", 6)
+
+	after := New()
+	if err := after.Merge(before.Report()); err != nil {
+		t.Fatal(err)
+	}
+	after.Observe("partition", 300)
+	after.Add("checkpoint_writes", 2)
+	after.Max("rb_workers", 3)
+
+	r := after.Report()
+	if r.Phases[0].Count != 2 || r.Phases[0].TotalNS != 400 || r.Phases[0].MaxNS != 300 {
+		t.Errorf("phases not cumulative: %+v", r.Phases[0])
+	}
+	if r.Counters[0].Value != 6 {
+		t.Errorf("counter not cumulative: %+v", r.Counters[0])
+	}
+	if r.Gauges[0].Value != 6 {
+		t.Errorf("gauge lost pre-resume max: %+v", r.Gauges[0])
+	}
+}

@@ -1,0 +1,232 @@
+package obs
+
+// Structured tracing: a Span is one timed region of the pipeline —
+// a harness snapshot, an engine rank phase, a transport exchange, a
+// recursive-bisection task — with a name, key/value attributes,
+// instant events (retries, injected faults), and a parent. Spans form
+// trees; completed spans are recorded into the owning Tracer's sharded
+// buffers (one mutex per shard, chosen by span id, so concurrent ranks
+// and pool workers rarely contend) and exported as Chrome trace-event
+// JSON (trace.go) loadable in Perfetto or chrome://tracing.
+//
+// The whole API is nil-safe and zero-allocation when tracing is off:
+// a nil *Tracer produces nil *Spans, every method on a nil *Span is a
+// no-op, and SpanFromContext on a context without a span returns nil —
+// so instrumentation threads spans through unconditionally and the
+// tracing-off path costs one nil check (TestDisabledPathsZeroAlloc
+// enforces the no-allocation contract).
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one span attribute. Construct with Int, Str, or Track.
+type Attr struct {
+	Key string
+	Str string
+	Int int64
+	// isInt selects which value field is live.
+	isInt bool
+}
+
+// Int returns an integer-valued attribute.
+func Int(key string, v int64) Attr { return Attr{Key: key, Int: v, isInt: true} }
+
+// Str returns a string-valued attribute.
+func Str(key, v string) Attr { return Attr{Key: key, Str: v} }
+
+// trackAttrKey is the reserved attribute key consumed by StartSpan /
+// Child: it names the timeline track (Chrome trace "thread") the span
+// is grouped under instead of inheriting the parent's track.
+const trackAttrKey = "\x00track"
+
+// Track returns the reserved attribute that places a span on the
+// named timeline track (e.g. "rank3", "rb"). Concurrent spans sharing
+// a track name are fanned out to "name", "name #2", ... at export.
+func Track(name string) Attr { return Attr{Key: trackAttrKey, Str: name} }
+
+// spanEvent is one instant event inside a span (Chrome phase "i").
+type spanEvent struct {
+	name  string
+	ts    int64 // ns since tracer base
+	attrs []Attr
+}
+
+// Span is one timed region. A nil *Span is valid everywhere and
+// records nothing.
+type Span struct {
+	tr     *Tracer
+	id     int64
+	parent int64 // parent span id, 0 for roots
+	name   string
+	track  string
+	start  int64 // ns since tracer base
+	attrs  []Attr
+
+	mu     sync.Mutex
+	end    int64 // ns since tracer base; 0 = still open
+	events []spanEvent
+}
+
+// Tracer collects completed spans. A nil *Tracer is valid and records
+// nothing. Safe for concurrent use.
+type Tracer struct {
+	base   time.Time
+	nextID atomic.Int64
+	shards [traceShards]traceShard
+}
+
+const traceShards = 16
+
+type traceShard struct {
+	mu    sync.Mutex
+	spans []*Span
+}
+
+// NewTracer returns an empty tracer whose clock starts now.
+func NewTracer() *Tracer { return &Tracer{base: time.Now()} }
+
+// now returns nanoseconds since the tracer's base time (monotonic).
+func (t *Tracer) now() int64 { return int64(time.Since(t.base)) }
+
+// newSpan allocates and starts a span. attrs are copied; the Track
+// attribute (if any) is split off into the track field.
+func (t *Tracer) newSpan(name, parentTrack string, parent int64, attrs []Attr) *Span {
+	s := &Span{
+		tr:     t,
+		id:     t.nextID.Add(1),
+		parent: parent,
+		name:   name,
+		track:  parentTrack,
+		start:  t.now(),
+	}
+	for _, a := range attrs {
+		if a.Key == trackAttrKey {
+			s.track = a.Str
+			continue
+		}
+		s.attrs = append(s.attrs, a)
+	}
+	return s
+}
+
+// Root starts a top-level span. Returns nil on a nil tracer.
+func (t *Tracer) Root(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.newSpan(name, "main", 0, attrs)
+}
+
+// Child starts a span nested under s (same track unless a Track attr
+// overrides it). Safe to call from multiple goroutines on the same
+// parent. Returns nil on a nil span.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.newSpan(name, s.track, s.id, attrs)
+}
+
+// Event records an instant event on s's timeline (rendered as an
+// arrow-less marker in the trace viewer): a retry round, an injected
+// fault, a recovery decision.
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	var cp []Attr
+	if len(attrs) > 0 {
+		cp = make([]Attr, len(attrs))
+		copy(cp, attrs)
+	}
+	ev := spanEvent{name: name, ts: s.tr.now(), attrs: cp}
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+// End completes the span and records it into the tracer. Calling End
+// twice records the span once (the second call is ignored).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end != 0 {
+		s.mu.Unlock()
+		return
+	}
+	s.end = s.tr.now()
+	if s.end == s.start {
+		s.end++ // zero-length spans render poorly; give them 1ns
+	}
+	s.mu.Unlock()
+	sh := &s.tr.shards[s.id%traceShards]
+	sh.mu.Lock()
+	sh.spans = append(sh.spans, s)
+	sh.mu.Unlock()
+}
+
+// Name returns the span's name ("" for nil), for tests and tooling.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// spanContextKey keys the current span in a context.
+type spanContextKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the current span. A nil
+// span returns ctx unchanged, so tracing-off call sites allocate
+// nothing.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanContextKey{}, s)
+}
+
+// SpanFromContext returns the current span, or nil when the context
+// carries none (tracing off).
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanContextKey{}).(*Span)
+	return s
+}
+
+// StartSpan starts a child of the context's current span and returns
+// a context carrying the child. When the context has no span (tracing
+// off) it returns ctx unchanged and a nil span — the no-op path.
+// Usage:
+//
+//	ctx, span := obs.StartSpan(ctx, "snapshot", obs.Int("t", t))
+//	defer span.End()
+func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := parent.Child(name, attrs...)
+	return context.WithValue(ctx, spanContextKey{}, s), s
+}
+
+// snapshotSpans returns all completed spans in a deterministic order
+// (by id). Open spans are not included.
+func (t *Tracer) snapshotSpans() []*Span {
+	if t == nil {
+		return nil
+	}
+	var out []*Span
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		out = append(out, sh.spans...)
+		sh.mu.Unlock()
+	}
+	return out
+}

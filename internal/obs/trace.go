@@ -1,0 +1,323 @@
+package obs
+
+// Chrome trace-event export and validation. WriteTrace renders every
+// completed span as a balanced B/E ("duration begin/end") pair and
+// every span event as an "i" (instant) event, in the JSON object
+// format {"traceEvents": [...]} that Perfetto and chrome://tracing
+// load directly. ValidateTrace is the inverse gate used by
+// tools/tracecheck and the tests: well-formed JSON, monotonic
+// timestamps per track, and strictly balanced B/E stacks.
+//
+// Track assignment: spans carry a track name (Track attr, inherited
+// from the parent by default). Within one track, spans that overlap
+// without nesting — concurrent pool tasks, the two harness legs — are
+// fanned out first-fit onto extra lanes ("rb", "rb #2", ...), so every
+// emitted lane is a properly nested stack and the B/E stream is
+// balanced by construction.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// traceEvent is one Chrome trace-event entry.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// usec converts tracer nanoseconds to trace-event microseconds.
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+func attrArgs(args map[string]any, attrs []Attr) map[string]any {
+	for _, a := range attrs {
+		if args == nil {
+			args = make(map[string]any, len(attrs))
+		}
+		if a.isInt {
+			args[a.Key] = a.Int
+		} else {
+			args[a.Key] = a.Str
+		}
+	}
+	return args
+}
+
+// lane is one emitted timeline: a stack of properly nested spans.
+type lane struct {
+	name  string
+	open  []*Span // simulation stack during assignment
+	spans []*Span // assigned spans in (start asc, end desc) order
+}
+
+// assignLanes fans the track's spans (sorted by start asc, end desc,
+// id asc) out to the minimum number of properly nested lanes,
+// first-fit.
+func assignLanes(track string, spans []*Span) []*lane {
+	var lanes []*lane
+	for _, s := range spans {
+		placed := false
+		for _, l := range lanes {
+			// Spans are processed in start order, so anything that ended
+			// before s starts can be popped for good.
+			for len(l.open) > 0 && l.open[len(l.open)-1].end <= s.start {
+				l.open = l.open[:len(l.open)-1]
+			}
+			if n := len(l.open); n == 0 || (l.open[n-1].start <= s.start && l.open[n-1].end >= s.end) {
+				l.open = append(l.open, s)
+				l.spans = append(l.spans, s)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			name := track
+			if len(lanes) > 0 {
+				name = fmt.Sprintf("%s #%d", track, len(lanes)+1)
+			}
+			lanes = append(lanes, &lane{name: name, open: []*Span{s}, spans: []*Span{s}})
+		}
+	}
+	return lanes
+}
+
+// laneEvents renders one lane's spans as a balanced, monotonic
+// B/E/i event stream.
+func laneEvents(l *lane, pid, tid int64) []traceEvent {
+	type ev struct {
+		ts   int64
+		rank int // E=0, i=1, B=2 at equal ts
+		s    *Span
+		ie   *spanEvent
+	}
+	var evs []ev
+	for _, s := range l.spans {
+		evs = append(evs, ev{ts: s.start, rank: 2, s: s}, ev{ts: s.end, rank: 0, s: s})
+		for i := range s.events {
+			evs = append(evs, ev{ts: s.events[i].ts, rank: 1, ie: &s.events[i]})
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.ts != b.ts {
+			return a.ts < b.ts
+		}
+		if a.rank != b.rank {
+			return a.rank < b.rank
+		}
+		switch a.rank {
+		case 0: // both E: inner (later start) closes first
+			if a.s.start != b.s.start {
+				return a.s.start > b.s.start
+			}
+			return a.s.id > b.s.id
+		case 2: // both B: outer (later end) opens first
+			if a.s.end != b.s.end {
+				return a.s.end > b.s.end
+			}
+			return a.s.id < b.s.id
+		}
+		return false
+	})
+
+	out := make([]traceEvent, 0, len(evs))
+	for _, e := range evs {
+		switch e.rank {
+		case 2:
+			args := map[string]any{"span_id": e.s.id}
+			if e.s.parent != 0 {
+				args["parent"] = e.s.parent
+			}
+			out = append(out, traceEvent{
+				Name: e.s.name, Cat: "span", Ph: "B", TS: usec(e.s.start),
+				Pid: pid, Tid: tid, Args: attrArgs(args, e.s.attrs),
+			})
+		case 0:
+			out = append(out, traceEvent{
+				Name: e.s.name, Cat: "span", Ph: "E", TS: usec(e.s.end),
+				Pid: pid, Tid: tid,
+			})
+		case 1:
+			out = append(out, traceEvent{
+				Name: e.ie.name, Cat: "event", Ph: "i", TS: usec(e.ie.ts),
+				Pid: pid, Tid: tid, S: "t", Args: attrArgs(nil, e.ie.attrs),
+			})
+		}
+	}
+	return out
+}
+
+// WriteTrace exports every completed span as Chrome trace-event JSON.
+// The output is deterministic for a given set of recorded spans.
+func (t *Tracer) WriteTrace(w io.Writer) error {
+	spans := t.snapshotSpans()
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.start != b.start {
+			return a.start < b.start
+		}
+		if a.end != b.end {
+			return a.end > b.end
+		}
+		return a.id < b.id
+	})
+
+	byTrack := make(map[string][]*Span)
+	var trackNames []string
+	for _, s := range spans {
+		if _, ok := byTrack[s.track]; !ok {
+			trackNames = append(trackNames, s.track)
+		}
+		byTrack[s.track] = append(byTrack[s.track], s)
+	}
+	sort.Strings(trackNames)
+
+	const pid = 0
+	events := []traceEvent{{
+		Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+		Args: map[string]any{"name": "repro"},
+	}}
+	tid := int64(0)
+	for _, tn := range trackNames {
+		for _, l := range assignLanes(tn, byTrack[tn]) {
+			tid++
+			events = append(events, traceEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]any{"name": l.name},
+			})
+			events = append(events, laneEvents(l, pid, tid)...)
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{events, "ms"})
+}
+
+// WriteTraceFile writes the trace to path (the -trace flag).
+func (t *Tracer) WriteTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// TraceSummary is what ValidateTrace learned about a trace.
+type TraceSummary struct {
+	Events int            // total trace events
+	Tracks int            // distinct (pid, tid) lanes with B/E/i events
+	Spans  int            // balanced B/E pairs
+	Names  map[string]int // span and instant-event names -> occurrences
+}
+
+// ValidateTrace checks that r holds well-formed Chrome trace-event
+// JSON (either the {"traceEvents": [...]} object or a bare array)
+// with, per (pid, tid) lane: non-decreasing timestamps in file order
+// and strictly balanced B/E pairs with matching names. It is the
+// library behind tools/tracecheck and the trace tests.
+func ValidateTrace(r io.Reader) (TraceSummary, error) {
+	sum := TraceSummary{Names: map[string]int{}}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return sum, err
+	}
+	var wrapper struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	var raw []json.RawMessage
+	if err := json.Unmarshal(data, &wrapper); err == nil && wrapper.TraceEvents != nil {
+		raw = wrapper.TraceEvents
+	} else if err := json.Unmarshal(data, &raw); err != nil {
+		return sum, fmt.Errorf("tracecheck: not trace-event JSON: %w", err)
+	}
+
+	type laneKey struct{ pid, tid int64 }
+	type openSpan struct {
+		name string
+		idx  int
+	}
+	lastTS := map[laneKey]float64{}
+	stacks := map[laneKey][]openSpan{}
+	seen := map[laneKey]bool{}
+
+	for i, msg := range raw {
+		var e struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			TS   *float64 `json:"ts"`
+			Pid  int64    `json:"pid"`
+			Tid  int64    `json:"tid"`
+		}
+		if err := json.Unmarshal(msg, &e); err != nil {
+			return sum, fmt.Errorf("tracecheck: event %d: %w", i, err)
+		}
+		sum.Events++
+		switch e.Ph {
+		case "M", "C", "X", "I":
+			continue // metadata/counter/complete: no stack discipline
+		case "B", "E", "i":
+		default:
+			return sum, fmt.Errorf("tracecheck: event %d: unsupported phase %q", i, e.Ph)
+		}
+		if e.TS == nil {
+			return sum, fmt.Errorf("tracecheck: event %d (%s %q): missing ts", i, e.Ph, e.Name)
+		}
+		if *e.TS < 0 {
+			return sum, fmt.Errorf("tracecheck: event %d (%s %q): negative ts %v", i, e.Ph, e.Name, *e.TS)
+		}
+		k := laneKey{e.Pid, e.Tid}
+		if seen[k] && *e.TS < lastTS[k] {
+			return sum, fmt.Errorf("tracecheck: event %d (%s %q): ts %v < previous %v on pid=%d tid=%d",
+				i, e.Ph, e.Name, *e.TS, lastTS[k], e.Pid, e.Tid)
+		}
+		seen[k] = true
+		lastTS[k] = *e.TS
+
+		switch e.Ph {
+		case "B":
+			if e.Name == "" {
+				return sum, fmt.Errorf("tracecheck: event %d: B with empty name", i)
+			}
+			stacks[k] = append(stacks[k], openSpan{name: e.Name, idx: i})
+			sum.Names[e.Name]++
+		case "E":
+			st := stacks[k]
+			if len(st) == 0 {
+				return sum, fmt.Errorf("tracecheck: event %d: E %q with empty stack on pid=%d tid=%d", i, e.Name, e.Pid, e.Tid)
+			}
+			top := st[len(st)-1]
+			if e.Name != "" && e.Name != top.name {
+				return sum, fmt.Errorf("tracecheck: event %d: E %q does not match open B %q (event %d)", i, e.Name, top.name, top.idx)
+			}
+			stacks[k] = st[:len(st)-1]
+			sum.Spans++
+		case "i":
+			sum.Names[e.Name]++
+		}
+	}
+	for k, st := range stacks {
+		if len(st) > 0 {
+			return sum, fmt.Errorf("tracecheck: %d unclosed span(s) on pid=%d tid=%d; first open: %q (event %d)",
+				len(st), k.pid, k.tid, st[len(st)-1].name, st[len(st)-1].idx)
+		}
+	}
+	sum.Tracks = len(seen)
+	return sum, nil
+}

@@ -3,10 +3,19 @@ package partition
 import (
 	"context"
 	"math/rand"
+	"runtime/pprof"
+	"strconv"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/pool"
 )
+
+// spanRBMinNV is the smallest subgraph that records an "rb_task"
+// span. It is far below the parallel cutoff so traces of quick scenes
+// still show the bisection tree, while the leaf flood of tiny
+// subproblems stays span-free.
+const spanRBMinNV = 1 << 10
 
 // Partition computes a k-way multi-constraint partitioning of g by
 // multilevel recursive bisection followed by a direct k-way
@@ -117,7 +126,27 @@ func rb(ctx context.Context, grp *pool.Group, sub *graph.Graph, ids []int32, k, 
 	rng := rand.New(rand.NewSource(seed))
 	kL := (k + 1) / 2
 	fracL := float64(kL) / float64(k)
-	where, _ := bisect(sub, fracL, eps, opt, rng, opt.Obs, depth)
+
+	// The span covers this task's own bisection work (coarsen, initial
+	// cut, refine, split) but not the recursion: a forked left child
+	// can outlive its parent's rb call, so rb_task spans are flat
+	// siblings on the "rb" track rather than a nested tree.
+	var span *obs.Span
+	if sub.NV() >= spanRBMinNV {
+		span = opt.Span.Child("rb_task", obs.Track("rb"),
+			obs.Int("depth", int64(depth)), obs.Int("k", int64(k)),
+			obs.Int("base", int64(base)), obs.Int("nv", int64(sub.NV())))
+	}
+	var where []int8
+	if sub.NV() >= cutoff {
+		// Pool-task-sized subtree: label the goroutine so CPU profiles
+		// break bisection time out by recursion depth.
+		pprof.Do(ctx, pprof.Labels("rb_depth", strconv.Itoa(depth)), func(context.Context) {
+			where, _ = bisect(sub, fracL, eps, opt, rng, opt.Obs, depth)
+		})
+	} else {
+		where, _ = bisect(sub, fracL, eps, opt, rng, opt.Obs, depth)
+	}
 
 	var leftIDs, rightIDs []int32
 	var leftLocal, rightLocal []int32
@@ -132,6 +161,7 @@ func rb(ctx context.Context, grp *pool.Group, sub *graph.Graph, ids []int32, k, 
 	}
 	left := sub.Induce(leftLocal)
 	right := sub.Induce(rightLocal)
+	span.End()
 
 	leftSeed := seed*1000003 + 1
 	rightSeed := seed*1000003 + 2

@@ -54,6 +54,11 @@ type Options struct {
 	// gauge partition_rb_workers_max. Timings are observational only;
 	// they never affect the computed partition.
 	Obs *obs.Collector
+	// Span, when non-nil, is the parent trace span: every bisection
+	// task over spanRBMinNV vertices records a flat "rb_task" span on
+	// the "rb" track with its depth, k, base label, and subgraph size.
+	// Spans are observational only; nil disables them at zero cost.
+	Span *obs.Span
 }
 
 // withDefaults returns opt with zero fields replaced by defaults.

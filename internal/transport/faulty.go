@@ -40,15 +40,24 @@ func NewFaulty(inner Transport, plan *fault.Plan, col *obs.Collector) *Faulty {
 }
 
 // Send implements Transport, applying the plan's action for this
-// message attempt.
+// message attempt. Injections are counted on the obs collector and,
+// when the context carries a span, recorded as instant events
+// ("fault_drop", "fault_dup", ...) on the caller's trace timeline.
 func (f *Faulty) Send(ctx context.Context, msg Message) error {
 	action := f.plan.MessageAction(msg.From, msg.To, msg.Phase, int(msg.Kind), msg.Attempt)
+	event := func(name string) {
+		obs.SpanFromContext(ctx).Event(name,
+			obs.Int("from", int64(msg.From)), obs.Int("to", int64(msg.To)),
+			obs.Int("phase", int64(msg.Phase)), obs.Int("attempt", int64(msg.Attempt)))
+	}
 	switch action {
 	case fault.Drop:
 		f.col.Add("transport_drops_injected", 1)
+		event("fault_drop")
 		return nil
 	case fault.Duplicate:
 		f.col.Add("transport_dups_injected", 1)
+		event("fault_dup")
 		if err := f.inner.Send(ctx, msg); err != nil {
 			return err
 		}
@@ -56,8 +65,10 @@ func (f *Faulty) Send(ctx context.Context, msg Message) error {
 	case fault.Delay, fault.Reorder:
 		if action == fault.Delay {
 			f.col.Add("transport_delays_injected", 1)
+			event("fault_delay")
 		} else {
 			f.col.Add("transport_reorders_injected", 1)
+			event("fault_reorder")
 		}
 		f.deliverLate(msg, f.plan.Latency(action))
 		return nil

@@ -1,0 +1,74 @@
+// Command tracecheck validates Chrome trace-event JSON files as
+// produced by contactbench -trace: well-formed JSON, non-negative and
+// per-lane monotonic timestamps, and strictly balanced B/E span pairs
+// with matching names. It can additionally require that named spans
+// or events are present, which is how `make trace` asserts that a
+// trace covers every layer of the pipeline (harness snapshots, engine
+// rank phases, transport exchanges, bisection tasks).
+//
+// Usage:
+//
+//	tracecheck [-require name,name,...] trace.json [more.json...]
+//
+// Exit status 0 when every file validates and every required name
+// appears (in every file); 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracecheck: ")
+	require := flag.String("require", "", "comma-separated span/event names that must appear in each trace")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Print("usage: tracecheck [-require name,...] trace.json [more.json...]")
+		os.Exit(2)
+	}
+	var required []string
+	for _, name := range strings.Split(*require, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			required = append(required, name)
+		}
+	}
+
+	failed := false
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Print(err)
+			failed = true
+			continue
+		}
+		sum, err := obs.ValidateTrace(f)
+		f.Close()
+		if err != nil {
+			log.Printf("%s: INVALID: %v", path, err)
+			failed = true
+			continue
+		}
+		var missing []string
+		for _, name := range required {
+			if sum.Names[name] == 0 {
+				missing = append(missing, name)
+			}
+		}
+		if len(missing) > 0 {
+			log.Printf("%s: valid but missing required span(s): %s", path, strings.Join(missing, ", "))
+			failed = true
+			continue
+		}
+		fmt.Printf("%s: OK — %d events, %d spans on %d lanes\n", path, sum.Events, sum.Spans, sum.Tracks)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
