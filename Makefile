@@ -1,15 +1,21 @@
 # Verification targets (referenced from README.md). `make check` is
-# the gate every PR runs: static analysis, the full test suite under
-# the race detector (which exercises the concurrent harness, the
-# parallel engine workers, and the parallel recursive-bisection
-# partitioner), and a short fuzz smoke per native fuzz target.
+# the gate every PR runs: static analysis (go vet plus the in-repo
+# contactlint suite), the full test suite under the race detector
+# (which exercises the concurrent harness, the parallel engine
+# workers, and the parallel recursive-bisection partitioner), and a
+# short fuzz smoke per native fuzz target.
 
-.PHONY: check vet test race fuzz-smoke chaos bench trace
+.PHONY: check vet lint test race fuzz-smoke chaos bench trace
 
-check: vet race chaos fuzz-smoke trace
+check: vet lint race chaos fuzz-smoke trace
 
 vet:
 	go vet ./...
+
+# Repo-specific determinism/observability contracts. `go run` builds
+# the driver fresh, so the gate always reflects the working tree.
+lint:
+	go run ./tools/contactlint ./internal/... ./cmd/... ./tools/...
 
 test:
 	go test ./...

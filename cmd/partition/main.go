@@ -323,7 +323,7 @@ func partitionGraphFile(path string, k int, method string, seed int64, imbalance
 		log.Fatal(err)
 	}
 	g, err := graph.ReadMetis(f)
-	f.Close()
+	_ = f.Close() // read-only; a close error after a successful read carries no data
 	if err != nil {
 		log.Fatal(err)
 	}

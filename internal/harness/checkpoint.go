@@ -218,11 +218,11 @@ func (c *Checkpointer) flushLocked() error {
 		return err
 	}
 	if _, err := f.Write(append(data, '\n')); err != nil {
-		f.Close()
+		_ = f.Close() // already failing; the write error is the one to report
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // already failing; the sync error is the one to report
 		return err
 	}
 	if err := f.Close(); err != nil {

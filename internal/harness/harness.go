@@ -485,7 +485,9 @@ func WriteTable(w io.Writer, results []*Result) {
 			r.Avg.MCFEComm, r.Avg.MCNTNodes, r.Avg.MCNRemote,
 			r.Avg.MLFEComm, r.Avg.MLM2MComm, r.Avg.MLUpdComm, r.Avg.MLNRemote)
 	}
-	tw.Flush()
+	// Human-readable best-effort output, matching the fmt.Fprintf calls
+	// above; a broken terminal is not an actionable error here.
+	_ = tw.Flush()
 }
 
 // WriteDerived prints the paper's derived Table 1 claims: the total

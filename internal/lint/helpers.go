@@ -1,0 +1,142 @@
+package lint
+
+// Shared AST/type-resolution helpers used by the analyzers. Package
+// identity is matched by import-path suffix ("internal/obs") rather
+// than the full module path, so the checks keep working if the module
+// is ever renamed and so testdata fixtures importing the real
+// packages resolve identically.
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// calleeOf resolves the statically-known function or method a call
+// invokes, or nil (builtins, calls through function values,
+// conversions).
+func calleeOf(p *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// pkgSuffixIs reports whether fn is declared in a package whose import
+// path is suffix or ends in "/"+suffix.
+func pkgSuffixIs(fn *types.Func, suffix string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// recvNameOf returns the name of fn's receiver's named type ("" for
+// package-level functions).
+func recvNameOf(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+// isMethod reports whether fn is the method recvName.name declared in
+// a package whose path ends in pkgSuffix.
+func isMethod(fn *types.Func, pkgSuffix, recvName, name string) bool {
+	return fn != nil && fn.Name() == name && recvNameOf(fn) == recvName && pkgSuffixIs(fn, pkgSuffix)
+}
+
+// isPkgFunc reports whether fn is the package-level function
+// pkgSuffix.name.
+func isPkgFunc(fn *types.Func, pkgSuffix, name string) bool {
+	return fn != nil && fn.Name() == name && recvNameOf(fn) == "" && pkgSuffixIs(fn, pkgSuffix)
+}
+
+// importedPkgOf returns the imported package a selector's base names
+// (e.g. the "rand" in rand.Intn), or nil when the base is not a
+// package name.
+func importedPkgOf(p *Package, x ast.Expr) *types.Package {
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return nil
+	}
+	return pn.Imported()
+}
+
+// exprText renders an expression back to source, for comparing "the
+// slice appended to" with "the slice sorted" textually.
+func exprText(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+// inspectShallow walks n in source order like ast.Inspect but does not
+// descend into nested function literals, so a function body can be
+// analyzed without seeing statements that execute in a different
+// function.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		if _, ok := node.(*ast.FuncLit); ok && node != n {
+			return false
+		}
+		return fn(node)
+	})
+}
+
+// funcBodies returns every function body in the file — declarations
+// and literals — in source order.
+func funcBodies(f *ast.File) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				out = append(out, fn.Body)
+			}
+		case *ast.FuncLit:
+			out = append(out, fn.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// objOf resolves an identifier to its object (defs or uses).
+func objOf(p *Package, id *ast.Ident) types.Object {
+	if obj := p.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Uses[id]
+}
+
+// within reports whether pos lies inside node's source range.
+func within(pos token.Pos, node ast.Node) bool {
+	return node.Pos() <= pos && pos < node.End()
+}

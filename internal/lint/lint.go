@@ -1,0 +1,194 @@
+// Package lint is a project-specific static-analysis framework built
+// purely on the standard library (go/parser + go/types + go/ast, no
+// golang.org/x/tools): it turns the repo's determinism and
+// observability contracts — seeded randomness only in the partitioning
+// pipeline, no order-dependent map iteration, every obs timer/span
+// stopped, no silently dropped errors, no pool misuse — into
+// build-breaking diagnostics enforced by `make lint`.
+//
+// The model is deliberately small. A Package is one type-checked unit
+// (a directory's files, or its external _test package). An Analyzer
+// inspects one Package and returns Findings (a token.Pos plus a
+// message). The framework resolves positions, applies
+// `//lint:ignore <analyzer> <reason>` suppression comments, and sorts
+// diagnostics by file/line/column/analyzer/message so two runs over
+// the same tree produce byte-identical output.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Finding is one raw analyzer report, positioned by token.Pos within
+// the package's FileSet. The framework turns Findings into
+// Diagnostics.
+type Finding struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Analyzer is one named check. Run inspects a single type-checked
+// package and returns its findings; it must be deterministic (walk
+// syntax in file order, never range over a map into output).
+type Analyzer struct {
+	Name string // short lower-case identifier, used in //lint:ignore
+	Doc  string // one-line description of the contract enforced
+	Run  func(p *Package) []Finding
+}
+
+// Diagnostic is one resolved, user-facing report. File is
+// slash-separated and relative to the module root.
+type Diagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// String renders the diagnostic in the conventional
+// file:line:col: analyzer: message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzers returns the full suite in its fixed, documented order.
+// The order never affects output (diagnostics are sorted), only the
+// registry of names valid in //lint:ignore directives.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DetRand(),
+		MapIter(),
+		ObsBalance(),
+		ErrDrop(),
+		SyncMisuse(),
+	}
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file     string
+	line     int // line the comment ends on
+	analyzer string
+	reason   string
+	bad      string // non-empty: malformed, this is the complaint
+}
+
+// parseIgnores extracts every //lint:ignore directive from the
+// package's comments. A directive suppresses diagnostics of the named
+// analyzer on its own line and on the line immediately below, so both
+// trailing and preceding-line placement work:
+//
+//	t0 := time.Now() //lint:ignore detrand timing only, never branches
+//
+//	//lint:ignore detrand timing only, never branches
+//	t0 := time.Now()
+func parseIgnores(p *Package) []ignoreDirective {
+	var out []ignoreDirective
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.End())
+				d := ignoreDirective{file: pos.Filename, line: pos.Line}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					d.bad = "malformed //lint:ignore directive: want `//lint:ignore <analyzer> <reason>`"
+				} else {
+					d.analyzer = fields[0]
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers runs every analyzer over every package, applies
+// suppression directives, and returns the sorted diagnostic list.
+// Malformed directives and directives naming an unknown analyzer are
+// themselves diagnostics (analyzer "lint"), so a typo cannot silently
+// disable a check.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	type lineKey struct {
+		file string
+		line int
+	}
+	suppressed := map[lineKey]map[string]bool{}
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		for _, d := range parseIgnores(p) {
+			rel := p.relFile(d.file)
+			if d.bad != "" {
+				diags = append(diags, Diagnostic{File: rel, Line: d.line, Col: 1, Analyzer: "lint", Message: d.bad})
+				continue
+			}
+			if !known[d.analyzer] {
+				diags = append(diags, Diagnostic{File: rel, Line: d.line, Col: 1, Analyzer: "lint",
+					Message: fmt.Sprintf("//lint:ignore names unknown analyzer %q", d.analyzer)})
+				continue
+			}
+			k := lineKey{file: d.file, line: d.line}
+			if suppressed[k] == nil {
+				suppressed[k] = map[string]bool{}
+			}
+			suppressed[k][d.analyzer] = true
+		}
+	}
+
+	for _, p := range pkgs {
+		for _, a := range analyzers {
+			for _, f := range a.Run(p) {
+				pos := p.Fset.Position(f.Pos)
+				if byName := suppressed[lineKey{pos.Filename, pos.Line}]; byName[a.Name] {
+					continue
+				}
+				if byName := suppressed[lineKey{pos.Filename, pos.Line - 1}]; byName[a.Name] {
+					continue
+				}
+				diags = append(diags, Diagnostic{
+					File: p.relFile(pos.Filename), Line: pos.Line, Col: pos.Column,
+					Analyzer: a.Name, Message: f.Message,
+				})
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// WriteText prints one diagnostic per line in file:line:col form.
+func WriteText(w io.Writer, diags []Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintln(w, d.String())
+	}
+}

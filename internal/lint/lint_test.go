@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot walks up from the test's working directory to the module
+// root (the directory holding go.mod).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// formatDiags renders diagnostics with base filenames so golden files
+// are independent of the checkout path.
+func formatDiags(diags []Diagnostic) string {
+	var sb strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&sb, "%s:%d:%d: %s: %s\n",
+			filepath.Base(d.File), d.Line, d.Col, d.Analyzer, d.Message)
+	}
+	return sb.String()
+}
+
+func checkGolden(t *testing.T, fixtureDir string, diags []Diagnostic) {
+	t.Helper()
+	got := formatDiags(diags)
+	goldenPath := filepath.Join(fixtureDir, "expected.txt")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file: %v\ngot diagnostics:\n%s", err, got)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics mismatch for %s\ngot:\n%s\nwant:\n%s",
+			fixtureDir, got, string(want))
+	}
+}
+
+// TestGoldenAnalyzers runs each analyzer alone over its fixture
+// package and compares against the checked-in expected.txt. Every
+// fixture holds positive, suppressed, and clean cases.
+func TestGoldenAnalyzers(t *testing.T) {
+	root := repoRoot(t)
+	for _, a := range Analyzers() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			dir := filepath.Join(root, "internal", "lint", "testdata", "src", a.Name)
+			pkgs, err := LoadDir(root, dir)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			diags := RunAnalyzers(pkgs, []*Analyzer{a})
+			checkGolden(t, dir, diags)
+		})
+	}
+}
+
+// TestDirectives exercises the suppression machinery itself: the
+// fixture holds malformed and unknown-analyzer //lint:ignore
+// directives, which must surface as "lint" diagnostics rather than
+// silently disabling a check. The full analyzer set runs so the
+// valid suppressions in the same file are also proven to work.
+func TestDirectives(t *testing.T) {
+	root := repoRoot(t)
+	dir := filepath.Join(root, "internal", "lint", "testdata", "src", "directives")
+	pkgs, err := LoadDir(root, dir)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags := RunAnalyzers(pkgs, Analyzers())
+	checkGolden(t, dir, diags)
+}
+
+var selfPatterns = []string{"./internal/...", "./cmd/...", "./tools/..."}
+
+// TestLintSelf pins the committed zero-diagnostic baseline: the whole
+// tree, including the linter itself, must be clean.
+func TestLintSelf(t *testing.T) {
+	root := repoRoot(t)
+	pkgs, err := Load(root, selfPatterns)
+	if err != nil {
+		t.Fatalf("loading repo: %v", err)
+	}
+	diags := RunAnalyzers(pkgs, Analyzers())
+	if len(diags) != 0 {
+		var sb strings.Builder
+		WriteText(&sb, diags)
+		t.Errorf("expected zero diagnostics on the repo, got %d:\n%s",
+			len(diags), sb.String())
+	}
+}
+
+// TestDeterministicOutput loads and analyzes the repo twice from
+// scratch and requires byte-identical formatted output — the linter
+// must obey the same determinism contract it enforces.
+func TestDeterministicOutput(t *testing.T) {
+	root := repoRoot(t)
+	run := func() string {
+		pkgs, err := Load(root, selfPatterns)
+		if err != nil {
+			t.Fatalf("loading repo: %v", err)
+		}
+		diags := RunAnalyzers(pkgs, Analyzers())
+		var sb strings.Builder
+		WriteText(&sb, diags)
+		// Also fold in the package inventory, unsorted, so
+		// load-order nondeterminism is caught even on a clean tree.
+		for _, p := range pkgs {
+			sb.WriteString(p.Path + " " + p.Name + "\n")
+		}
+		return sb.String()
+	}
+	first := run()
+	second := run()
+	if first != second {
+		t.Errorf("two runs produced different output\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+}

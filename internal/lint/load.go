@@ -1,0 +1,376 @@
+package lint
+
+// Package loading without golang.org/x/tools: walk the module's
+// directories, parse every .go file with go/parser, and type-check
+// with go/types. Imports inside the module are resolved by
+// type-checking the imported directory's non-test sources (cached,
+// recursive); standard-library imports fall back to go/importer's
+// default (gc export data). The result is full type information for
+// every linted package while go.mod stays stdlib-only.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked lint unit: either a directory's package
+// (in-package _test.go files included, so test helpers are linted
+// too) or the directory's external _test package.
+type Package struct {
+	Path  string // import path ("<module>/internal/partition"); "_test" suffix for external test units
+	Name  string // package name as declared ("partition", "partition_test", "main")
+	Root  string // module root directory (for relative file names)
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// relFile returns filename relative to the module root, with forward
+// slashes, for stable cross-machine diagnostics.
+func (p *Package) relFile(filename string) string {
+	if rel, err := filepath.Rel(p.Root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}
+
+// BaseName returns the package name with any external-test "_test"
+// suffix stripped, so analyzers scoped by package (detrand's
+// determinism-critical set) cover a package's external tests too.
+func (p *Package) BaseName() string {
+	return strings.TrimSuffix(p.Name, "_test")
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go
+// file.
+func (p *Package) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// modulePath extracts the module path from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s/go.mod", root)
+}
+
+// loader resolves imports for type-checking. It implements
+// types.Importer: module-internal paths are type-checked from source
+// (non-test files only) and cached; everything else (the standard
+// library) goes through the default gc importer.
+type loader struct {
+	root     string
+	modPath  string
+	fset     *token.FileSet
+	fallback types.Importer
+	cache    map[string]*types.Package
+	loading  map[string]bool // import-cycle guard
+}
+
+func newLoader(root, modPath string) *loader {
+	return &loader{
+		root:     root,
+		modPath:  modPath,
+		fset:     token.NewFileSet(),
+		fallback: importer.Default(),
+		cache:    map[string]*types.Package{},
+		loading:  map[string]bool{},
+	}
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		if l.loading[path] {
+			return nil, fmt.Errorf("lint: import cycle through %q", path)
+		}
+		l.loading[path] = true
+		defer delete(l.loading, path)
+
+		dir := filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")))
+		files, err := l.parseDir(dir, func(name string) bool {
+			return !strings.HasSuffix(name, "_test.go")
+		})
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("lint: no Go files for %q in %s", path, dir)
+		}
+		pkg, err := l.check(path, files, nil)
+		if err != nil {
+			return nil, err
+		}
+		l.cache[path] = pkg
+		return pkg, nil
+	}
+	return l.fallback.Import(path)
+}
+
+// parseDir parses every .go file in dir whose base name passes keep,
+// in sorted name order (determinism). Files beginning with "_" or "."
+// are skipped, as the go tool does.
+func (l *loader) parseDir(dir string, keep func(name string) bool) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if keep != nil && !keep(name) {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// check type-checks files as the package at path. When info is nil a
+// throwaway Info is used (dependency loads don't need one).
+func (l *loader) check(path string, files []*ast.File, info *types.Info) (*types.Package, error) {
+	conf := types.Config{Importer: l}
+	if info == nil {
+		info = newInfo()
+	}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return pkg, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// Load parses and type-checks the packages matched by patterns
+// (relative to the module at root). Supported pattern forms mirror the
+// go tool's: "./dir" for one directory, "./dir/..." for a directory
+// tree, "." / "./..." for the root. Directories named "testdata",
+// hidden directories, and directories without .go files are skipped.
+//
+// Each matched directory yields up to two Packages: the directory's
+// package including its in-package _test.go files, and — when present
+// — the external "<pkg>_test" package.
+func Load(root string, patterns []string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expandPatterns(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader(root, modPath)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		units, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, units...)
+	}
+	return pkgs, nil
+}
+
+// LoadDir type-checks a single directory outside the normal pattern
+// walk (the golden-file testdata fixtures). Imports that start with
+// the module path of moduleRoot resolve against that module, so
+// fixtures may import the repo's real packages.
+func LoadDir(moduleRoot, dir string) ([]*Package, error) {
+	moduleRoot, err := filepath.Abs(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader(moduleRoot, modPath)
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.loadDir(abs)
+}
+
+// loadDir builds the lint units for one directory.
+func (l *loader) loadDir(dir string) ([]*Package, error) {
+	all, err := l.parseDir(dir, nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(all) == 0 {
+		return nil, nil
+	}
+	importPath := l.modPath
+	if rel, err := filepath.Rel(l.root, dir); err == nil && rel != "." && !strings.HasPrefix(rel, "..") {
+		importPath = l.modPath + "/" + filepath.ToSlash(rel)
+	}
+
+	// Split the directory into the main unit (package P, _test.go
+	// included) and the external test unit (package P_test). The main
+	// package name is the one declared by a non-test file; an all-test
+	// directory falls back to the first name seen.
+	var mainName string
+	for _, f := range all {
+		name := f.Name.Name
+		fname := l.fset.Position(f.Package).Filename
+		if !strings.HasSuffix(fname, "_test.go") && !strings.HasSuffix(name, "_test") {
+			mainName = name
+			break
+		}
+	}
+	if mainName == "" {
+		mainName = strings.TrimSuffix(all[0].Name.Name, "_test")
+	}
+	var mainFiles, extFiles []*ast.File
+	for _, f := range all {
+		if f.Name.Name == mainName+"_test" {
+			extFiles = append(extFiles, f)
+		} else {
+			mainFiles = append(mainFiles, f)
+		}
+	}
+
+	var out []*Package
+	if len(mainFiles) > 0 {
+		info := newInfo()
+		tpkg, err := l.check(importPath, mainFiles, info)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Package{
+			Path: importPath, Name: tpkg.Name(), Root: l.root,
+			Fset: l.fset, Files: mainFiles, Types: tpkg, Info: info,
+		})
+	}
+	if len(extFiles) > 0 {
+		info := newInfo()
+		tpkg, err := l.check(importPath+"_test", extFiles, info)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Package{
+			Path: importPath + "_test", Name: tpkg.Name(), Root: l.root,
+			Fset: l.fset, Files: extFiles, Types: tpkg, Info: info,
+		})
+	}
+	return out, nil
+}
+
+// expandPatterns resolves go-tool-style package patterns to a sorted,
+// de-duplicated list of absolute directories containing .go files.
+func expandPatterns(root string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "" || pat == "." {
+				pat = "."
+			}
+		}
+		base := filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+		fi, err := os.Stat(base)
+		if err != nil {
+			return nil, fmt.Errorf("lint: pattern %q: %w", pat, err)
+		}
+		if !fi.IsDir() {
+			return nil, fmt.Errorf("lint: pattern %q is not a directory", pat)
+		}
+		if !recursive {
+			if hasGoFiles(base) {
+				add(base)
+			}
+			continue
+		}
+		err = filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasPrefix(name, "_") && !strings.HasPrefix(name, ".") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,203 @@
+package lint
+
+// mapiter flags `range` over a map whose body has order-dependent
+// effects — the exact bug class behind nondeterministic reports,
+// traces, and messages: Go randomizes map iteration order, so
+// appending to a slice, writing to a stream/builder, sending on a
+// channel, or recording ordered observability events from inside the
+// loop produces output that differs run to run.
+//
+// An append into a slice is tolerated when the same slice is passed to
+// a sort (package sort or slices) later in the same function — the
+// collect-then-sort idiom restores determinism. Everything else
+// (writes, sends, span events, transport calls) has no such repair and
+// is always flagged; loops that are genuinely order-independent for a
+// deeper reason carry a //lint:ignore mapiter <reason>.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapIter returns the mapiter analyzer.
+func MapIter() *Analyzer {
+	return &Analyzer{
+		Name: "mapiter",
+		Doc:  "flag order-dependent effects inside range-over-map loops",
+		Run:  runMapIter,
+	}
+}
+
+func runMapIter(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		for _, body := range funcBodies(f) {
+			out = append(out, mapIterInFunc(p, body)...)
+		}
+	}
+	return out
+}
+
+// mapIterInFunc checks the range-over-map loops whose statements
+// belong directly to this function body (nested function literals are
+// separate funcBodies entries).
+func mapIterInFunc(p *Package, body *ast.BlockStmt) []Finding {
+	var out []Finding
+	inspectShallow(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Info.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		for _, eff := range mapIterEffects(p, rs) {
+			if eff.sortable != "" && sortedAfter(p, body, rs, eff.sortable) {
+				continue
+			}
+			out = append(out, Finding{Pos: eff.pos, Message: eff.msg})
+		}
+		return true
+	})
+	return out
+}
+
+// effect is one order-dependent action found inside a map-range body.
+// sortable names the appended-to slice (as source text) when a
+// later sort can repair the order; "" means unsortable.
+type effect struct {
+	pos      token.Pos
+	msg      string
+	sortable string
+}
+
+func mapIterEffects(p *Package, rs *ast.RangeStmt) []effect {
+	var effs []effect
+	// The body scan includes nested function literals: a closure
+	// executed per iteration has the same ordering hazard. (A closure
+	// merely *defined* per iteration and run later is rare enough to
+	// accept the false positive and annotate.)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			effs = append(effs, effect{pos: n.Pos(), msg: "channel send inside range over a map: receive order depends on map iteration order"})
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || id.Name != "append" || p.Info.Uses[id] != nil && p.Info.Uses[id].Parent() != types.Universe {
+					continue
+				}
+				if i >= len(n.Lhs) {
+					continue
+				}
+				target := n.Lhs[i]
+				if declaredWithin(p, target, rs.Body) {
+					continue // loop-local scratch; order can't leak out
+				}
+				effs = append(effs, effect{
+					pos:      n.Pos(),
+					msg:      fmt.Sprintf("append to %s inside range over a map without a later sort: element order depends on map iteration order", exprText(p.Fset, target)),
+					sortable: exprText(p.Fset, target),
+				})
+			}
+		case *ast.CallExpr:
+			if eff, ok := callEffect(p, n); ok {
+				effs = append(effs, eff)
+			}
+		}
+		return true
+	})
+	return effs
+}
+
+// callEffect classifies calls that emit in iteration order: stream
+// writes, observability span records, transport sends.
+func callEffect(p *Package, call *ast.CallExpr) (effect, bool) {
+	fn := calleeOf(p, call)
+	if fn == nil {
+		return effect{}, false
+	}
+	name := fn.Name()
+	switch {
+	case pkgSuffixIs(fn, "fmt") && (name == "Print" || name == "Printf" || name == "Println" ||
+		name == "Fprint" || name == "Fprintf" || name == "Fprintln"):
+		return effect{pos: call.Pos(), msg: "fmt output inside range over a map: line order depends on map iteration order"}, true
+	case recvNameOf(fn) != "" && (name == "Write" || name == "WriteString" || name == "WriteByte" ||
+		name == "WriteRune" || name == "Encode"):
+		return effect{pos: call.Pos(), msg: fmt.Sprintf("%s.%s inside range over a map: output order depends on map iteration order", recvNameOf(fn), name)}, true
+	case pkgSuffixIs(fn, "internal/obs") && (isMethod(fn, "internal/obs", "Span", "Event") ||
+		isMethod(fn, "internal/obs", "Span", "Child") || isPkgFunc(fn, "internal/obs", "StartSpan")):
+		return effect{pos: call.Pos(), msg: "span recorded inside range over a map: trace event order depends on map iteration order"}, true
+	case pkgSuffixIs(fn, "internal/transport"):
+		return effect{pos: call.Pos(), msg: fmt.Sprintf("transport call %s inside range over a map: message order depends on map iteration order", name)}, true
+	}
+	return effect{}, false
+}
+
+// declaredWithin reports whether the expression's base identifier is
+// declared inside node (a loop-local variable).
+func declaredWithin(p *Package, e ast.Expr, node ast.Node) bool {
+	id := baseIdent(e)
+	if id == nil {
+		return false
+	}
+	obj := objOf(p, id)
+	return obj != nil && within(obj.Pos(), node)
+}
+
+// baseIdent unwraps selectors/indexes to the root identifier of an
+// assignable expression (rows, r.Phases, out[i] -> rows, r, out).
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedAfter reports whether, after the range statement and within
+// the same function body, the named expression is passed to a sort
+// (package sort or slices) — the collect-then-sort idiom.
+func sortedAfter(p *Package, body *ast.BlockStmt, rs *ast.RangeStmt, target string) bool {
+	found := false
+	inspectShallow(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		fn := calleeOf(p, call)
+		if fn == nil || !(pkgSuffixIs(fn, "sort") || pkgSuffixIs(fn, "slices")) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprText(p.Fset, arg) == target || exprText(p.Fset, arg) == "&"+target {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

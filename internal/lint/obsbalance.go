@@ -1,0 +1,317 @@
+package lint
+
+// obsbalance enforces the start/stop discipline of the observability
+// layer: every obs.Collector.Start timer must have its stop function
+// invoked, and every span created by obs.StartSpan / Tracer.Root /
+// Span.Child must reach a matching End. An unbalanced timer silently
+// loses a phase from every report; an un-Ended span vanishes from the
+// trace and breaks the B/E balance tracecheck relies on.
+//
+// The check is structural rather than fully path-sensitive:
+//
+//   - discarding the handle (expression statement, or assigning the
+//     span to _) is always a violation — nothing can ever close it;
+//   - `defer c.Start("x")` (missing the trailing call) starts the
+//     timer at function exit and is flagged specially;
+//   - a handle held in a variable must be closed somewhere in the
+//     enclosing function — a deferred close (directly or inside a
+//     deferred closure) balances every path, while a plain close with
+//     an intervening early `return` between start and close is
+//     flagged as leaking on that path;
+//   - handles that escape (returned, passed to another function,
+//     stored in a field or composite) are assumed closed elsewhere.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ObsBalance returns the obsbalance analyzer.
+func ObsBalance() *Analyzer {
+	return &Analyzer{
+		Name: "obsbalance",
+		Doc:  "every obs timer start and span must be stopped/ended on all paths",
+		Run:  runObsBalance,
+	}
+}
+
+func runObsBalance(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		for _, body := range funcBodies(f) {
+			out = append(out, obsBalanceInFunc(p, body)...)
+		}
+	}
+	return out
+}
+
+// obsKind distinguishes the two handle shapes.
+type obsKind int
+
+const (
+	obsTimer obsKind = iota // c.Start(...) -> func()
+	obsSpan                 // StartSpan/Root/Child -> *obs.Span
+)
+
+// obsCreation is one timer/span creation bound to a variable, with
+// the closing obligation to discharge.
+type obsCreation struct {
+	pos  token.Pos
+	kind obsKind
+	what string // "timer \"x\"" or "span \"y\"" for messages
+	obj  types.Object
+}
+
+func obsBalanceInFunc(p *Package, body *ast.BlockStmt) []Finding {
+	var out []Finding
+	var creations []obsCreation
+
+	record := func(kind obsKind, what string, lhs ast.Expr, pos token.Pos) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return // stored into a field/index: escapes, closed elsewhere
+		}
+		if id.Name == "_" {
+			out = append(out, Finding{Pos: pos, Message: fmt.Sprintf("%s is assigned to _ and can never be %s", what, closeVerb(kind))})
+			return
+		}
+		obj := objOf(p, id)
+		if obj == nil {
+			return
+		}
+		creations = append(creations, obsCreation{pos: pos, kind: kind, what: what, obj: obj})
+	}
+
+	inspectShallow(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if kind, what, ok := obsCreationCall(p, n.X); ok {
+				out = append(out, Finding{Pos: n.Pos(), Message: fmt.Sprintf("%s is discarded; it can never be %s", what, closeVerb(kind))})
+			}
+		case *ast.DeferStmt:
+			if kind, what, ok := obsCreationCall(p, n.Call); ok && kind == obsTimer {
+				out = append(out, Finding{Pos: n.Pos(), Message: fmt.Sprintf("defer starts %s at function exit and discards the stop; write `defer c.Start(...)()`", what)})
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 {
+				if kind, what, ok := obsCreationCall(p, n.Rhs[0]); ok {
+					switch {
+					case kind == obsSpan && len(n.Lhs) == 2:
+						record(kind, what, n.Lhs[1], n.Rhs[0].Pos()) // ctx, span := obs.StartSpan(...)
+					case len(n.Lhs) == 1:
+						record(kind, what, n.Lhs[0], n.Rhs[0].Pos())
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	for _, c := range creations {
+		out = append(out, checkObligation(p, body, c)...)
+	}
+	return out
+}
+
+func closeVerb(kind obsKind) string {
+	if kind == obsTimer {
+		return "stopped"
+	}
+	return "ended"
+}
+
+// obsCreationCall recognizes expressions that open a timer or span.
+// For spans it distinguishes the two-result StartSpan (handled by the
+// caller via the second assignment slot) from the single-result
+// Root/Child.
+func obsCreationCall(p *Package, e ast.Expr) (obsKind, string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return 0, "", false
+	}
+	fn := calleeOf(p, call)
+	if fn == nil {
+		return 0, "", false
+	}
+	label := func(kind string) string {
+		if len(call.Args) > 0 {
+			if lit, ok := ast.Unparen(nameArgOf(fn, call)).(*ast.BasicLit); ok {
+				return fmt.Sprintf("%s %s", kind, lit.Value)
+			}
+		}
+		return kind
+	}
+	switch {
+	case isMethod(fn, "internal/obs", "Collector", "Start"):
+		return obsTimer, label("obs timer"), true
+	case isPkgFunc(fn, "internal/obs", "StartSpan"),
+		isMethod(fn, "internal/obs", "Tracer", "Root"),
+		isMethod(fn, "internal/obs", "Span", "Child"):
+		return obsSpan, label("span"), true
+	}
+	return 0, "", false
+}
+
+// nameArgOf picks the argument holding the phase/span name: the
+// second for StartSpan(ctx, name, ...), the first otherwise.
+func nameArgOf(fn *types.Func, call *ast.CallExpr) ast.Expr {
+	if fn.Name() == "StartSpan" && len(call.Args) > 1 {
+		return call.Args[1]
+	}
+	return call.Args[0]
+}
+
+// checkObligation verifies that the handle bound in c is closed:
+// stop() called for timers, .End() called for spans. Deferred closes
+// (defer stmt or inside a deferred closure) balance all paths; a plain
+// close is accepted unless an early return sits between the creation
+// and the first close. Any other use of the handle counts as an
+// escape and discharges the obligation.
+func checkObligation(p *Package, body *ast.BlockStmt, c obsCreation) []Finding {
+	deferredFns := deferredFuncLits(body)
+
+	var plainClose, deferredClose, escaped bool
+	firstPlain := token.NoPos
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if closesHandle(p, n.Call, c) {
+				deferredClose = true
+				return false
+			}
+		case *ast.CallExpr:
+			if closesHandle(p, n, c) {
+				if inDeferredLit(n.Pos(), deferredFns) {
+					deferredClose = true
+				} else {
+					plainClose = true
+					if firstPlain == token.NoPos || n.Pos() < firstPlain {
+						firstPlain = n.Pos()
+					}
+				}
+				return true
+			}
+		case *ast.Ident:
+			if n.Pos() > c.pos && objOf(p, n) == c.obj && !identUseExempt(p, n, c) {
+				escaped = true
+			}
+		}
+		return true
+	})
+
+	if escaped || deferredClose {
+		return nil
+	}
+	if !plainClose {
+		return []Finding{{Pos: c.pos, Message: fmt.Sprintf("%s is never %s in this function", c.what, closeVerb(c.kind))}}
+	}
+	// Plain close only: an early return between creation and close
+	// leaks the handle on that path.
+	var bad token.Pos
+	inspectShallow(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if ok && bad == token.NoPos && ret.Pos() > c.pos && ret.Pos() < firstPlain {
+			bad = ret.Pos()
+		}
+		return true
+	})
+	if bad != token.NoPos {
+		return []Finding{{Pos: bad, Message: fmt.Sprintf("return may skip closing %s started earlier; close it with defer", c.what)}}
+	}
+	return nil
+}
+
+// closesHandle reports whether call is `handle()` (timer) or
+// `handle.End()` (span) for the tracked object.
+func closesHandle(p *Package, call *ast.CallExpr, c obsCreation) bool {
+	switch c.kind {
+	case obsTimer:
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && objOf(p, id) == c.obj
+	case obsSpan:
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "End" {
+			return false
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		return ok && objOf(p, id) == c.obj
+	}
+	return false
+}
+
+// identUseExempt reports whether this use of the handle cannot
+// transfer the close obligation elsewhere: the handle's own close
+// call (`stop()`, `span.End()`) or any method call with the handle in
+// receiver position (`span.Event(...)` records but does not end).
+// Every other use — argument, return value, store — is an escape and
+// the obligation is assumed discharged by the new owner.
+func identUseExempt(p *Package, id *ast.Ident, c obsCreation) bool {
+	path := nodePath(p, id)
+	if len(path) < 2 {
+		return false
+	}
+	parent := path[len(path)-2]
+	if call, ok := parent.(*ast.CallExpr); ok && call.Fun == ast.Expr(id) {
+		return closesHandle(p, call, c)
+	}
+	if sel, ok := parent.(*ast.SelectorExpr); ok && sel.X == ast.Expr(id) && len(path) >= 3 {
+		if call, ok := path[len(path)-3].(*ast.CallExpr); ok && call.Fun == ast.Expr(sel) {
+			return true // method call on the handle
+		}
+	}
+	return false
+}
+
+// nodePath returns the chain of enclosing nodes for the identifier
+// within its file, outermost first and the identifier itself last.
+func nodePath(p *Package, id *ast.Ident) []ast.Node {
+	var file *ast.File
+	for _, f := range p.Files {
+		if within(id.Pos(), f) {
+			file = f
+			break
+		}
+	}
+	if file == nil {
+		return nil
+	}
+	var path []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || !within(id.Pos(), n) {
+			return false
+		}
+		path = append(path, n)
+		return true
+	})
+	return path
+}
+
+// deferredFuncLits collects function literals invoked directly by a
+// defer statement (`defer func(){ ... }()`): closes inside them run on
+// every path, like a direct defer.
+func deferredFuncLits(body *ast.BlockStmt) []*ast.FuncLit {
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+		}
+		return true
+	})
+	return lits
+}
+
+func inDeferredLit(pos token.Pos, lits []*ast.FuncLit) bool {
+	for _, lit := range lits {
+		if within(pos, lit) {
+			return true
+		}
+	}
+	return false
+}

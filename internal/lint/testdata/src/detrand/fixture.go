@@ -1,0 +1,31 @@
+// Fixture for the detrand analyzer. The package is named
+// "partition" so it falls inside the determinism-critical set; the
+// directory name is what ties it to the analyzer's golden test.
+package partition
+
+import (
+	"math/rand"
+	"time"
+)
+
+// bad exercises every forbidden form: wall-clock reads and the
+// global math/rand convenience functions.
+func bad(n int) int {
+	t0 := time.Now()                   // want: time.Now
+	d := time.Since(t0)                // want: time.Since
+	rand.Shuffle(n, func(i, j int) {}) // want: global rand
+	return rand.Intn(n) + int(d)       // want: global rand
+}
+
+// suppressed shows the sanctioned escape hatch for timing-only uses.
+func suppressed() int64 {
+	//lint:ignore detrand phase timing only; the duration never feeds a result
+	t0 := time.Now()
+	return t0.UnixNano()
+}
+
+// clean threads a seeded generator, the only sanctioned source.
+func clean(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}

@@ -1,0 +1,29 @@
+// Fixture for the suppression machinery itself: malformed and
+// unknown-analyzer //lint:ignore directives are diagnostics, so a
+// typo cannot silently disable a check.
+package directives
+
+import "os"
+
+// missingReason has an analyzer but no reason.
+func missingReason(f *os.File) {
+	//lint:ignore errdrop
+	f.Close() // still flagged: the directive above is malformed
+}
+
+// unknownAnalyzer names a check that does not exist.
+func unknownAnalyzer(f *os.File) {
+	//lint:ignore errdorp typo in the analyzer name
+	f.Close() // still flagged: the directive suppresses nothing
+}
+
+// sameLine suppresses from a trailing comment.
+func sameLine(f *os.File) {
+	f.Close() //lint:ignore errdrop read-only handle, close error carries no data
+}
+
+// lineAbove suppresses from the preceding line.
+func lineAbove(f *os.File) {
+	//lint:ignore errdrop read-only handle, close error carries no data
+	f.Close()
+}

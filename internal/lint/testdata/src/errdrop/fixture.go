@@ -1,0 +1,46 @@
+// Fixture for the errdrop analyzer: expression statements that
+// silently discard an error, and the allowlisted sinks.
+package errdrop
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// bad drops errors from a file close, an encoder, and a flush.
+func bad(f *os.File, w io.Writer, bw *bufio.Writer) {
+	f.Close()                    // want: Close
+	json.NewEncoder(w).Encode(1) // want: Encode
+	bw.Flush()                   // want: Flush
+}
+
+// allowlisted sinks: fmt print family, infallible builders, and
+// bufio's sticky-error write methods.
+func allowlisted(w io.Writer, bw *bufio.Writer, sb *strings.Builder, buf *bytes.Buffer) {
+	fmt.Println("hi")
+	fmt.Fprintf(w, "x")
+	bw.WriteString("x")
+	bw.WriteByte('x')
+	sb.WriteString("x")
+	buf.WriteString("x")
+}
+
+// handled and blanked are the two accepted treatments.
+func handled(f *os.File) error {
+	return f.Close()
+}
+
+func blanked(f *os.File) {
+	_ = f.Close()
+}
+
+// suppressed carries the reason at the site.
+func suppressed(f *os.File) {
+	//lint:ignore errdrop read-only handle; the close error carries no data
+	f.Close()
+}

@@ -1,0 +1,9 @@
+// Test files are exempt from errdrop: dropping an error in a test
+// helper fails the test elsewhere, not the pipeline.
+package errdrop
+
+import "os"
+
+func dropInTest(f *os.File) {
+	f.Close() // clean: _test.go files are out of scope
+}

@@ -1,0 +1,80 @@
+// Fixture for the mapiter analyzer: order-dependent effects inside
+// range-over-map loops, and the idioms that make them deterministic.
+package mapiter
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// badAppend collects map keys without sorting afterwards.
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want: append without later sort
+	}
+	return keys
+}
+
+// goodSorted is the collect-then-sort idiom and must not be flagged.
+func goodSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// badPrint emits lines in map order.
+func badPrint(m map[int]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want: fmt output
+	}
+}
+
+// badWrite buffers bytes in map order.
+func badWrite(buf *bytes.Buffer, m map[string]string) {
+	for k := range m {
+		buf.WriteString(k) // want: buffer write
+	}
+}
+
+// badSend delivers map entries in iteration order.
+func badSend(ch chan int, m map[int]bool) {
+	for k := range m {
+		ch <- k // want: channel send
+	}
+}
+
+// loopLocal appends only into a slice scoped to the iteration; no
+// order can leak out.
+func loopLocal(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		total += len(tmp)
+	}
+	return total
+}
+
+// aggregate is commutative and clean.
+func aggregate(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// suppressed documents a deliberately order-free consumer.
+func suppressed(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//lint:ignore mapiter consumer treats this as a set; order is irrelevant
+		keys = append(keys, k)
+	}
+	return keys
+}

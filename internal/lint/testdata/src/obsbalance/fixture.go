@@ -1,0 +1,92 @@
+// Fixture for the obsbalance analyzer: obs timers and spans must be
+// stopped/ended on every path.
+package obsbal
+
+import (
+	"context"
+
+	"repro/internal/obs"
+)
+
+// discardedTimer drops the stop function on the floor.
+func discardedTimer(c *obs.Collector) {
+	c.Start("phase") // want: discarded
+}
+
+// deferredStart is the classic typo: the timer starts at function
+// exit and is never stopped.
+func deferredStart(c *obs.Collector) {
+	defer c.Start("phase") // want: defer starts at exit
+}
+
+// balancedDefer and balancedVar are the two sanctioned shapes.
+func balancedDefer(c *obs.Collector) {
+	defer c.Start("phase")()
+}
+
+func balancedVar(c *obs.Collector) {
+	stop := c.Start("phase")
+	stop()
+}
+
+// earlyReturn stops the timer on only one path.
+func earlyReturn(c *obs.Collector, cond bool) {
+	stop := c.Start("phase")
+	if cond {
+		return // want: return skips the stop
+	}
+	stop()
+}
+
+// spanDiscardedStmt opens a span nothing can ever end.
+func spanDiscardedStmt(ctx context.Context) {
+	obs.StartSpan(ctx, "snapshot") // want: discarded
+}
+
+// spanBlank assigns the span to _.
+func spanBlank(ctx context.Context) context.Context {
+	ctx2, _ := obs.StartSpan(ctx, "snapshot") // want: assigned to _
+	return ctx2
+}
+
+// spanNeverEnded records events but never ends; the receiver-position
+// uses must not count as escapes.
+func spanNeverEnded(ctx context.Context) {
+	_, span := obs.StartSpan(ctx, "snapshot") // want: never ended
+	span.Event("retry")
+}
+
+// spanDeferEnd and endInDeferredClosure balance every path.
+func spanDeferEnd(ctx context.Context) {
+	_, span := obs.StartSpan(ctx, "snapshot")
+	defer span.End()
+}
+
+func endInDeferredClosure(ctx context.Context) {
+	_, span := obs.StartSpan(ctx, "snapshot")
+	defer func() {
+		span.End()
+	}()
+}
+
+// rootAndChild: the leaked child is flagged, the balanced root is not.
+func rootAndChild(tr *obs.Tracer) {
+	root := tr.Root("experiment")
+	defer root.End()
+	child := root.Child("leg") // want: never ended
+	child.Event("e")
+}
+
+// escapes hands the span to another owner; the obligation moves with
+// it.
+func escapes(ctx context.Context) context.Context {
+	_, span := obs.StartSpan(ctx, "snapshot")
+	return obs.ContextWithSpan(ctx, span)
+}
+
+// suppressed documents a deliberate leak (the process exits
+// immediately after, so the report is never read).
+func suppressed(c *obs.Collector) {
+	//lint:ignore obsbalance crash-path instrumentation; the process exits before reporting
+	c.Start("phase")
+}

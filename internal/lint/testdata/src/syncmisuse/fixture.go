@@ -1,0 +1,88 @@
+// Fixture for the syncmisuse analyzer: lock copies, loop-variable
+// captures in go statements, and ignored pool submissions.
+package syncmisuse
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/pool"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// copyMutexParam and copyStructParam take lock state by value.
+func copyMutexParam(mu sync.Mutex) { // want: parameter copies Mutex
+	mu.Lock()
+}
+
+func copyStructParam(g guarded) int { // want: parameter copies guarded
+	return g.n
+}
+
+// ptrParam is the correct shape.
+func ptrParam(g *guarded) int {
+	return g.n
+}
+
+// rangeCopy copies each element's lock into the loop variable.
+func rangeCopy(gs []guarded) int { // want: range value copies guarded
+	n := 0
+	for _, g := range gs {
+		n += g.n
+	}
+	return n
+}
+
+// assignCopy duplicates lock state through a dereference.
+func assignCopy(gp *guarded) int {
+	cp := *gp // want: assignment copies guarded
+	return cp.n
+}
+
+// goCapture closes over the loop variable by reference.
+func goCapture(xs []int) {
+	for _, x := range xs {
+		go func() {
+			fmt.Println(x) // want: captures loop variable x
+		}()
+	}
+}
+
+// goParam passes the loop variable as an argument — portable under
+// any toolchain semantics.
+func goParam(xs []int) {
+	for _, x := range xs {
+		go func(v int) {
+			fmt.Println(v)
+		}(x)
+	}
+}
+
+// ignoredSubmit and ignoredFork drop the cancellation signal.
+func ignoredSubmit(g *pool.Group) {
+	g.Submit(func(ctx context.Context) error { return nil }) // want: Submit error ignored
+}
+
+func ignoredFork(g *pool.Group) {
+	g.Fork(100, 10, func(ctx context.Context) error { return nil }) // want: Fork error ignored
+}
+
+// handledSubmit propagates; blankedSubmit discards visibly.
+func handledSubmit(g *pool.Group) error {
+	return g.Submit(func(ctx context.Context) error { return nil })
+}
+
+func blankedSubmit(g *pool.Group) {
+	_ = g.Submit(func(ctx context.Context) error { return nil })
+}
+
+// suppressed documents why the drop is safe.
+func suppressed(g *pool.Group) {
+	//lint:ignore syncmisuse fresh group, cannot be cancelled before this enqueue
+	g.Submit(func(ctx context.Context) error { return nil })
+}

@@ -214,7 +214,7 @@ func (m *Mesh) SaveFile(path string) error {
 		return err
 	}
 	if _, err := m.WriteTo(f); err != nil {
-		f.Close()
+		_ = f.Close() // already failing; the write error is the one to report
 		return err
 	}
 	return f.Close()

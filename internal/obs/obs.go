@@ -290,5 +290,7 @@ func (r Report) WriteTable(w io.Writer) {
 				sparkline(h, 16))
 		}
 	}
-	tw.Flush()
+	// Human-readable best-effort output, matching the fmt.Fprintf calls
+	// above; a broken terminal is not an actionable error here.
+	_ = tw.Flush()
 }

@@ -16,7 +16,7 @@ func StartCPUProfile(path string) (func() error, error) {
 		return nil, err
 	}
 	if err := pprof.StartCPUProfile(f); err != nil {
-		f.Close()
+		_ = f.Close() // already failing; the profile error is the one to report
 		return nil, fmt.Errorf("obs: start cpu profile: %w", err)
 	}
 	return func() error {
@@ -35,7 +35,7 @@ func WriteHeapProfile(path string) error {
 	}
 	runtime.GC()
 	if err := pprof.WriteHeapProfile(f); err != nil {
-		f.Close()
+		_ = f.Close() // already failing; the profile error is the one to report
 		return fmt.Errorf("obs: write heap profile: %w", err)
 	}
 	return f.Close()
@@ -48,7 +48,7 @@ func (r Report) WriteJSONFile(path string) error {
 		return err
 	}
 	if err := r.WriteJSON(f); err != nil {
-		f.Close()
+		_ = f.Close() // already failing; the encode error is the one to report
 		return err
 	}
 	return f.Close()

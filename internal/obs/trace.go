@@ -213,7 +213,7 @@ func (t *Tracer) WriteTraceFile(path string) error {
 		return err
 	}
 	if err := t.WriteTrace(f); err != nil {
-		f.Close()
+		_ = f.Close() // already failing; the encode error is the one to report
 		return err
 	}
 	return f.Close()

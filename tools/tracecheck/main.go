@@ -49,7 +49,7 @@ func main() {
 			continue
 		}
 		sum, err := obs.ValidateTrace(f)
-		f.Close()
+		_ = f.Close() // read-only; a close error after validation carries no data
 		if err != nil {
 			log.Printf("%s: INVALID: %v", path, err)
 			failed = true
