@@ -53,9 +53,10 @@ trace:
 		-require experiment,snapshot,mc_leg,ml_leg,rank,ghost_exchange,global_search,local_search,transport_exchange,rb_task,retry,fault_drop \
 		$(TRACE_OUT)
 
-# Microbenchmarks plus the serial-vs-parallel KWay comparison; the
-# latter rewrites BENCH_partition.json (checked in for provenance —
-# numbers depend on GOMAXPROCS, recorded in the file).
+# Microbenchmarks plus the serial-vs-parallel KWay comparison and the
+# amortized adaptive-vs-scratch snapshot sweep; the latter two rewrite
+# BENCH_partition.json (checked in for provenance — numbers depend on
+# GOMAXPROCS, recorded in the file).
 bench:
 	go test -bench=. -benchmem ./internal/partition
-	go run ./cmd/partition -bench-json BENCH_partition.json -k 16
+	go run ./cmd/partition -bench-json BENCH_partition.json -k 16 -bench-snapshots 8

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"os"
@@ -37,6 +38,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/partition"
 	"repro/internal/pool"
 	"repro/internal/sim"
 )
@@ -71,6 +73,13 @@ func run() int {
 		seriesPath = flag.String("series", "", "write the per-snapshot metric/eval-time series to this file (.csv for CSV, else JSON)")
 		engineLeg  = flag.Bool("engine", false, "also run one resilient engine iteration per k on the first snapshot")
 		chaosSeed  = flag.Int64("chaos", 0, "with -engine: inject deterministic first-attempt transport faults from this seed (0 = off)")
+
+		adaptive     = flag.Bool("adaptive", false, "adaptive warm-start repartitioning: keep/diffuse/full per snapshot by drift policy")
+		repartEvery  = flag.Int("repart-every", 0, "repartition the MCML+DT side every N snapshots (0 = every snapshot from scratch)")
+		incremental  = flag.Bool("incremental", false, "with -repart-every: warm-start via diffusion instead of from scratch")
+		driftCut     = flag.Float64("drift-cut", 0, "with -adaptive: relative cut-drift that triggers a diffusion repair (0 = default)")
+		driftFullCut = flag.Float64("drift-full-cut", 0, "with -adaptive: relative cut-drift that forces a full repartition (0 = default)")
+		driftImb     = flag.Float64("drift-imb", 0, "with -adaptive: imbalance that forces a full repartition (0 = default)")
 	)
 	flag.Parse()
 	if *resume && *ckptPath == "" {
@@ -182,7 +191,17 @@ func run() int {
 
 	cfgs := make([]harness.Config, len(ks))
 	for i, k := range ks {
-		cfgs[i] = harness.Config{K: k, Seed: *seed, Obs: col}
+		cfgs[i] = harness.Config{
+			K: k, Seed: *seed, Obs: col,
+			Adaptive:         *adaptive,
+			RepartitionEvery: *repartEvery,
+			Incremental:      *incremental,
+			Drift: partition.DriftThresholds{
+				CutDrift:      *driftCut,
+				FullCutDrift:  *driftFullCut,
+				FullImbalance: *driftImb,
+			},
+		}
 	}
 	var ck *harness.Checkpointer
 	if *ckptPath != "" {
@@ -256,6 +275,9 @@ func run() int {
 	harness.WriteTable(os.Stdout, results)
 	fmt.Println()
 	harness.WriteDerived(os.Stdout, results)
+	if *adaptive || *repartEvery > 0 {
+		writeRepartSummary(os.Stdout, results)
+	}
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
@@ -307,6 +329,38 @@ func run() int {
 	}
 
 	return writeObs()
+}
+
+// writeRepartSummary prints, per experiment, how the drift policy (or
+// the fixed -repart-every cadence) decided across the sweep and how
+// many nodes those decisions moved. Derived entirely from the recorded
+// series, so the output is deterministic.
+func writeRepartSummary(w io.Writer, results []*harness.Result) {
+	fmt.Fprintln(w, "\nRepartitioning decisions:")
+	byK := map[int]*struct{ kept, diffused, full, migrated int64 }{}
+	var order []int
+	for _, p := range harness.Series(results) {
+		c := byK[p.K]
+		if c == nil {
+			c = &struct{ kept, diffused, full, migrated int64 }{}
+			byK[p.K] = c
+			order = append(order, p.K)
+		}
+		switch p.MCRepart {
+		case "keep":
+			c.kept++
+		case "diffuse":
+			c.diffused++
+		case "full":
+			c.full++
+		}
+		c.migrated += p.MCMigrated
+	}
+	for _, k := range order {
+		c := byK[k]
+		fmt.Fprintf(w, "  %d-way: kept %d, diffused %d, full %d; %d nodes migrated\n",
+			k, c.kept, c.diffused, c.full, c.migrated)
+	}
 }
 
 func parseKs(s string) ([]int, error) {

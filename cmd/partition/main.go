@@ -30,6 +30,7 @@ import (
 	"repro/internal/mlrcb"
 	"repro/internal/obs"
 	"repro/internal/partition"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -54,6 +55,7 @@ func main() {
 		benchJSON = flag.String("bench-json", "", "run the serial-vs-parallel KWay benchmark and write the JSON report to this file")
 		benchRuns = flag.Int("bench-runs", 3, "repetitions per benchmark leg (best time wins)")
 		workers   = flag.Int("workers", 0, "worker-pool size for the parallel leg (0 = GOMAXPROCS)")
+		benchSnap = flag.Int("bench-snapshots", 0, "with -bench-json: also amortize adaptive warm-start vs from-scratch repartitioning over N snapshots")
 	)
 	flag.Parse()
 
@@ -106,7 +108,7 @@ func main() {
 	}
 
 	if *benchJSON != "" {
-		if err := benchPartition(*graphPath, *meshPath, *k, *seed, *imbalance, *workers, *benchRuns, *benchJSON); err != nil {
+		if err := benchPartition(*graphPath, *meshPath, *k, *seed, *imbalance, *workers, *benchRuns, *benchSnap, *benchJSON); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -181,15 +183,40 @@ type benchReport struct {
 		NV, NE, NCon int
 		Source       string `json:"source"`
 	} `json:"graph"`
-	K               int      `json:"k"`
-	Seed            int64    `json:"seed"`
-	Runs            int      `json:"runs"`
-	GOMAXPROCS      int      `json:"gomaxprocs"`
-	Workers         int      `json:"workers"`
-	Serial          benchLeg `json:"serial"`
-	Parallel        benchLeg `json:"parallel"`
-	LabelsIdentical bool     `json:"labels_identical"`
-	Speedup         float64  `json:"speedup"`
+	K               int            `json:"k"`
+	Seed            int64          `json:"seed"`
+	Runs            int            `json:"runs"`
+	GOMAXPROCS      int            `json:"gomaxprocs"`
+	Workers         int            `json:"workers"`
+	Serial          benchLeg       `json:"serial"`
+	Parallel        benchLeg       `json:"parallel"`
+	LabelsIdentical bool           `json:"labels_identical"`
+	Speedup         float64        `json:"speedup"`
+	Snapshots       *snapshotBench `json:"snapshots,omitempty"`
+}
+
+// snapshotLeg is one strategy's amortized cost/quality over a
+// deforming snapshot sequence.
+type snapshotLeg struct {
+	TotalNS      int64   `json:"total_ns"`
+	PerSnapshot  int64   `json:"ns_per_snapshot"`
+	FinalCut     int64   `json:"final_cut"`
+	MaxImbalance float64 `json:"max_imbalance"`
+	Kept         int     `json:"kept,omitempty"`
+	Diffused     int     `json:"diffused,omitempty"`
+	Full         int     `json:"full,omitempty"`
+	Migrated     int     `json:"migrated,omitempty"`
+}
+
+// snapshotBench compares adaptive warm-start repartitioning against
+// partitioning every snapshot from scratch, on the same sequence of
+// nodal graphs.
+type snapshotBench struct {
+	N           int         `json:"n"`
+	Incremental snapshotLeg `json:"incremental"`
+	Scratch     snapshotLeg `json:"scratch"`
+	Speedup     float64     `json:"speedup"`
+	CutRatio    float64     `json:"cut_ratio"`
 }
 
 // benchGraph loads the benchmark graph: an explicit -graph file, the
@@ -227,7 +254,7 @@ func benchGraph(graphPath, meshPath string) (*graph.Graph, string, error) {
 // benchPartition times the strictly serial KWay recursion against the
 // pooled one on the same graph and writes a JSON report. Labels must
 // come out byte-identical; the report records whether they did.
-func benchPartition(graphPath, meshPath string, k int, seed int64, imbalance float64, workers, runs int, outPath string) error {
+func benchPartition(graphPath, meshPath string, k int, seed int64, imbalance float64, workers, runs, benchSnap int, outPath string) error {
 	g, source, err := benchGraph(graphPath, meshPath)
 	if err != nil {
 		return err
@@ -304,6 +331,19 @@ func benchPartition(graphPath, meshPath string, k int, seed int64, imbalance flo
 		return fmt.Errorf("benchmark violated the determinism contract: serial and parallel labels differ")
 	}
 
+	if benchSnap > 1 {
+		sb, err := benchSnapshots(k, seed, imbalance, benchSnap)
+		if err != nil {
+			return err
+		}
+		rep.Snapshots = sb
+		fmt.Printf("snapshot sweep (%d snapshots): incremental %d ns/snapshot (kept %d, diffused %d, full %d, migrated %d), scratch %d ns/snapshot\n",
+			sb.N, sb.Incremental.PerSnapshot, sb.Incremental.Kept, sb.Incremental.Diffused,
+			sb.Incremental.Full, sb.Incremental.Migrated, sb.Scratch.PerSnapshot)
+		fmt.Printf("snapshot sweep speedup %.2fx, final cut ratio %.3f (incremental/scratch), max imbalance %.3f vs %.3f\n",
+			sb.Speedup, sb.CutRatio, sb.Incremental.MaxImbalance, sb.Scratch.MaxImbalance)
+	}
+
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		return err
@@ -313,6 +353,110 @@ func benchPartition(graphPath, meshPath string, k int, seed int64, imbalance flo
 	}
 	fmt.Printf("wrote %s\n", outPath)
 	return nil
+}
+
+// benchSnapshots amortizes adaptive warm-start repartitioning against
+// from-scratch partitioning over a deforming snapshot sequence. Nodal
+// graphs are built up front so both legs time only partitioning work.
+func benchSnapshots(k int, seed int64, eps float64, n int) (*snapshotBench, error) {
+	cfg := sim.DefaultConfig()
+	cfg.Snapshots = n
+	cfg.Steps = 10 * n
+	snaps, err := sim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	graphs := make([]*graph.Graph, len(snaps))
+	for i := range snaps {
+		graphs[i] = snaps[i].Mesh.NodalGraph(mesh.DefaultNodalOptions())
+	}
+	opt := partition.Options{K: k, Seed: seed, Imbalance: eps}
+	thr := partition.DriftThresholds{}.WithDefaults(eps)
+
+	worstImb := func(g *graph.Graph, labels []int32) float64 {
+		worst := 1.0
+		for _, x := range partition.LoadImbalances(g, labels, k) {
+			worst = math.Max(worst, x)
+		}
+		return worst
+	}
+	// carry maps snapshot t's labels onto snapshot t+1's vertices via
+	// the persistent node ids; nodes born between snapshots inherit
+	// partition 0 and are rebalanced by the repartitioner.
+	carry := func(prev []int32, from, to int) []int32 {
+		byID := make(map[int64]int32, len(prev))
+		for v, id := range snaps[from].NodeID {
+			byID[id] = prev[v]
+		}
+		next := make([]int32, graphs[to].NV())
+		for v, id := range snaps[to].NodeID {
+			next[v] = byID[id]
+		}
+		return next
+	}
+
+	bench := &snapshotBench{N: len(snaps)}
+
+	// Scratch leg: full multilevel partition of every snapshot.
+	t0 := time.Now()
+	var scratchLabels []int32
+	for _, g := range graphs {
+		if scratchLabels, err = partition.Partition(g, opt); err != nil {
+			return nil, err
+		}
+		bench.Scratch.MaxImbalance = math.Max(bench.Scratch.MaxImbalance, worstImb(g, scratchLabels))
+	}
+	bench.Scratch.TotalNS = time.Since(t0).Nanoseconds()
+	bench.Scratch.FinalCut = partition.EdgeCut(graphs[len(graphs)-1], scratchLabels)
+
+	// Incremental leg: warm-start each snapshot from the previous
+	// labels and let the drift policy choose keep/diffuse/full.
+	t0 = time.Now()
+	labels, err := partition.Partition(graphs[0], opt)
+	if err != nil {
+		return nil, err
+	}
+	bench.Incremental.MaxImbalance = worstImb(graphs[0], labels)
+	baseCut := partition.EdgeCut(graphs[0], labels)
+	for t := 1; t < len(graphs); t++ {
+		g := graphs[t]
+		labels = carry(labels, t-1, t)
+		cur := partition.MeasureDrift(g, labels, k)
+		switch thr.Decide(cur, baseCut, eps) {
+		case partition.DriftKeep:
+			bench.Incremental.Kept++
+			bench.Incremental.MaxImbalance = math.Max(bench.Incremental.MaxImbalance, cur.Imbalance)
+			continue // baseline cut stays pinned to the last repair
+		case partition.DriftDiffuse:
+			bench.Incremental.Diffused++
+			migrated, err := partition.Repartition(g, labels, partition.RepartitionOptions{Options: opt})
+			if err != nil {
+				return nil, err
+			}
+			bench.Incremental.Migrated += migrated
+		case partition.DriftFull:
+			bench.Incremental.Full++
+			prev := labels
+			if labels, err = partition.Partition(g, opt); err != nil {
+				return nil, err
+			}
+			bench.Incremental.Migrated += len(prev) - partition.Overlap(prev, labels)
+		}
+		baseCut = partition.EdgeCut(g, labels)
+		bench.Incremental.MaxImbalance = math.Max(bench.Incremental.MaxImbalance, worstImb(g, labels))
+	}
+	bench.Incremental.TotalNS = time.Since(t0).Nanoseconds()
+	bench.Incremental.FinalCut = partition.EdgeCut(graphs[len(graphs)-1], labels)
+
+	bench.Scratch.PerSnapshot = bench.Scratch.TotalNS / int64(len(snaps))
+	bench.Incremental.PerSnapshot = bench.Incremental.TotalNS / int64(len(snaps))
+	if bench.Incremental.TotalNS > 0 {
+		bench.Speedup = float64(bench.Scratch.TotalNS) / float64(bench.Incremental.TotalNS)
+	}
+	if bench.Scratch.FinalCut > 0 {
+		bench.CutRatio = float64(bench.Incremental.FinalCut) / float64(bench.Scratch.FinalCut)
+	}
+	return bench, nil
 }
 
 // partitionGraphFile partitions a raw METIS graph file and prints the

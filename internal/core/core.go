@@ -68,6 +68,10 @@ type Config struct {
 	// (dtree.Options.PreferWideGaps) — the tree-induction improvement
 	// of the paper's future-work section.
 	WideGaps bool
+	// Drift tunes the warm-start policy of AdaptiveDecompose (zero
+	// value selects the partition.DriftThresholds defaults). Ignored by
+	// Decompose and Redecompose.
+	Drift partition.DriftThresholds
 	// Obs, when non-nil, receives per-phase wall-clock timings
 	// ("partition", "tree_induction") for every pipeline run.
 	Obs *obs.Collector
@@ -213,6 +217,107 @@ func Redecompose(m *mesh.Mesh, prevLabels []int32, cfg Config) (*Decomposition, 
 		return nil, 0, err
 	}
 	return d, migrated, nil
+}
+
+// AdaptiveOutcome reports what the drift policy did for one snapshot.
+type AdaptiveOutcome struct {
+	// Decision is the ladder rung that actually ran (a diffuse that
+	// failed to repair the decay escalates and reports DriftFull).
+	Decision partition.DriftDecision
+	// Migrated counts nodes whose final label differs from prevLabels
+	// (0 for a keep) — the Section 2 repartitioning objective.
+	Migrated int
+	// Cut and Imbalance are the inherited labels' measured quality on
+	// the updated mesh, before any repair.
+	Cut       int64
+	Imbalance float64
+	// BaselineCut is the caller's drift baseline for the next
+	// snapshot: unchanged on keep (so slow decay keeps accumulating
+	// against the last repair, not against yesterday's slightly worse
+	// cut), refreshed to the repaired partition's cut otherwise.
+	BaselineCut int64
+}
+
+// AdaptiveDecompose is the warm-started per-snapshot update of
+// Section 4.3: it grades the inherited labels against the updated mesh
+// with the drift policy (partition.DriftThresholds) and either keeps
+// them (returning a nil Decomposition — the caller reuses its current
+// one and only refreshes descriptors), repairs them with the diffusion
+// repartitioner, or falls back to a full multilevel partition.
+// baseCut is the edge cut measured right after the last repair (pass
+// the initial Decompose's cut for snapshot 1); carry the returned
+// BaselineCut forward. Deterministic: equal inputs give equal outputs
+// for any worker count.
+func AdaptiveDecompose(m *mesh.Mesh, prevLabels []int32, baseCut int64, cfg Config) (*Decomposition, AdaptiveOutcome, error) {
+	var out AdaptiveOutcome
+	if cfg.K < 1 {
+		return nil, out, fmt.Errorf("core: K = %d", cfg.K)
+	}
+	if cfg.Geometric {
+		return nil, out, fmt.Errorf("core: AdaptiveDecompose does not support the Geometric pipeline")
+	}
+	if len(prevLabels) != m.NumNodes() {
+		return nil, out, fmt.Errorf("core: %d previous labels for %d nodes", len(prevLabels), m.NumNodes())
+	}
+	cfg = cfg.withDefaults(m.NumNodes())
+	g := m.NodalGraph(cfg.Nodal)
+
+	stopDrift := cfg.Obs.Start("drift_eval")
+	cur := partition.MeasureDrift(g, prevLabels, cfg.K)
+	out.Cut, out.Imbalance = cur.Cut, cur.Imbalance
+	out.Decision = cfg.Drift.Decide(cur, baseCut, cfg.Imbalance)
+	stopDrift()
+
+	if out.Decision == partition.DriftKeep {
+		out.BaselineCut = baseCut
+		return nil, out, nil
+	}
+
+	popt := partition.Options{K: cfg.K, Seed: cfg.Seed, Imbalance: cfg.Imbalance, Obs: cfg.Obs, Span: cfg.Span}
+	stopPart := cfg.Obs.Start("partition")
+	partSpan := cfg.Span.Child("partition",
+		obs.Int("k", int64(cfg.K)), obs.Int("nv", int64(g.NV())),
+		obs.Str("mode", out.Decision.String()))
+	labels := append([]int32(nil), prevLabels...)
+	var err error
+	if out.Decision == partition.DriftDiffuse {
+		_, err = partition.Repartition(g, labels, partition.RepartitionOptions{Options: popt})
+		if err == nil {
+			// Escalate when diffusion could not actually repair the
+			// decay: local moves cannot always fix a labeling that has
+			// degraded structurally.
+			post := partition.MeasureDrift(g, labels, cfg.K)
+			if th := cfg.Drift.WithDefaults(cfg.Imbalance); post.Imbalance > th.FullImbalance {
+				out.Decision = partition.DriftFull
+			}
+		}
+	}
+	if err == nil && out.Decision == partition.DriftFull {
+		labels, err = partition.Partition(g, popt)
+	}
+	partSpan.End()
+	stopPart()
+	if err != nil {
+		return nil, out, err
+	}
+
+	d := &Decomposition{
+		Cfg:       cfg,
+		Graph:     g,
+		RawLabels: append([]int32(nil), labels...),
+		Labels:    labels,
+	}
+	if !cfg.SkipReshape && cfg.K > 1 {
+		if err := d.reshape(m, popt); err != nil {
+			return nil, out, err
+		}
+	}
+	if err := d.induceDescriptor(m); err != nil {
+		return nil, out, err
+	}
+	out.Migrated = len(prevLabels) - partition.Overlap(prevLabels, d.Labels)
+	out.BaselineCut = partition.EdgeCut(g, d.Labels)
+	return d, out, nil
 }
 
 // reshape performs steps 3-4: guidance tree, majority reassignment,

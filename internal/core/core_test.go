@@ -8,6 +8,7 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/meshgen"
 	"repro/internal/metrics"
+	"repro/internal/partition"
 	"repro/internal/sim"
 )
 
@@ -395,5 +396,107 @@ func TestNRemoteMonotoneInTolerance(t *testing.T) {
 	big := d.NRemote(m, 2.0)
 	if big < small {
 		t.Errorf("NRemote not monotone in tolerance: %d at 0.1, %d at 2.0", small, big)
+	}
+}
+
+// adaptiveSnaps builds a short deforming sequence for the adaptive
+// warm-start tests.
+func adaptiveSnaps(t *testing.T, n int) []sim.Snapshot {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Scene.PlateNX, cfg.Scene.PlateNY, cfg.Scene.PlateNZ = 12, 12, 2
+	cfg.Scene.ProjN, cfg.Scene.ProjLen = 2, 6
+	cfg.Scene.ContactRadius = 4
+	cfg.Steps = 10 * n
+	cfg.Snapshots = n
+	snaps, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snaps
+}
+
+func TestAdaptiveDecomposeKeepReturnsNil(t *testing.T) {
+	m := testMesh(t)
+	// A generous eps: reshape can push the final labels a little past a
+	// tight balance cap, and this test exercises the keep path's
+	// mechanics, not the threshold boundary (drift_test.go covers that).
+	cfg := Config{K: 4, Seed: 1, Imbalance: 0.5}
+	d, err := Decompose(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := d.Stats().EdgeCut
+	// Same mesh, same labels: zero drift, zero imbalance change — the
+	// policy must keep the decomposition and spend no partitioning work.
+	nd, out, err := AdaptiveDecompose(m, d.Labels, base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Decision != partition.DriftKeep {
+		t.Fatalf("decision %v on an undrifted snapshot, want keep", out.Decision)
+	}
+	if nd != nil {
+		t.Error("keep returned a new decomposition")
+	}
+	if out.Migrated != 0 {
+		t.Errorf("keep migrated %d nodes", out.Migrated)
+	}
+	if out.BaselineCut != base {
+		t.Errorf("keep changed the baseline cut: %d -> %d", base, out.BaselineCut)
+	}
+}
+
+func TestAdaptiveDecomposeRepairsDrift(t *testing.T) {
+	snaps := adaptiveSnaps(t, 4)
+	cfg := Config{K: 6, Seed: 1}
+	d0, err := Decompose(snaps[0].Mesh, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[int64]int32{}
+	for v, id := range snaps[0].NodeID {
+		byID[id] = d0.Labels[v]
+	}
+	last := snaps[len(snaps)-1]
+	prev := make([]int32, last.Mesh.NumNodes())
+	for v, id := range last.NodeID {
+		prev[v] = byID[id]
+	}
+	// Force a repair with paranoid thresholds, then check the outcome
+	// is a usable decomposition with accurate bookkeeping.
+	cfg.Drift = partition.DriftThresholds{CutDrift: 1e-9, FullCutDrift: 1e9, FullImbalance: 1e9}
+	nd, out, err := AdaptiveDecompose(last.Mesh, prev, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Decision == partition.DriftKeep {
+		t.Fatal("kept despite a near-zero drift threshold")
+	}
+	if nd == nil {
+		t.Fatal("repair returned no decomposition")
+	}
+	if got := partition.EdgeCut(nd.Graph, nd.Labels); out.BaselineCut != got {
+		t.Errorf("baseline cut %d, final labels cut %d", out.BaselineCut, got)
+	}
+	want := len(prev) - partition.Overlap(prev, nd.Labels)
+	if out.Migrated != want {
+		t.Errorf("migrated %d, label diff says %d", out.Migrated, want)
+	}
+	if nd.Descriptor.NumNodes() < 1 {
+		t.Error("no descriptor after adaptive repair")
+	}
+}
+
+func TestAdaptiveDecomposeValidates(t *testing.T) {
+	m := testMesh(t)
+	if _, _, err := AdaptiveDecompose(m, nil, 0, Config{K: 4}); err == nil {
+		t.Error("accepted wrong label length")
+	}
+	if _, _, err := AdaptiveDecompose(m, make([]int32, m.NumNodes()), 0, Config{K: 0}); err == nil {
+		t.Error("accepted K=0")
+	}
+	if _, _, err := AdaptiveDecompose(m, make([]int32, m.NumNodes()), 0, Config{K: 4, Geometric: true}); err == nil {
+		t.Error("accepted Geometric mode")
 	}
 }

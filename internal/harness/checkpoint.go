@@ -103,6 +103,13 @@ func configHash(snaps []sim.Snapshot, cfgs []Config) string {
 			c.K, c.Seed, c.Imbalance, c.SearchTol, c.ContactEdgeWeight,
 			c.MaxPure, c.MaxImpure, c.SkipReshape, c.LooseTreeFilter,
 			c.Geometric, c.WideGaps, c.RepartitionEvery, c.Incremental)
+		if c.Adaptive {
+			// Appended only for adaptive configs so every pre-existing
+			// checkpoint (necessarily non-adaptive) keeps its hash.
+			d := c.Drift.WithDefaults(c.Imbalance)
+			fmt.Fprintf(h, " ad=%t dc=%g dfc=%g dfi=%g",
+				c.Adaptive, d.CutDrift, d.FullCutDrift, d.FullImbalance)
+		}
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -29,6 +29,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mlrcb"
 	"repro/internal/obs"
+	"repro/internal/partition"
 	"repro/internal/pool"
 	"repro/internal/sim"
 )
@@ -67,6 +68,17 @@ type Config struct {
 	// multi-constraint repartitioner (bounded migration) instead of a
 	// fresh partition. Only meaningful with RepartitionEvery > 0.
 	Incremental bool
+	// Adaptive enables the warm-started drift policy for the MCML+DT
+	// side: every snapshot inherits the previous snapshot's labels via
+	// the persistent node ids and core.AdaptiveDecompose decides
+	// between keeping them, diffusion repair, and a full repartition
+	// (Section 4.3). Takes precedence over RepartitionEvery for the
+	// MCML+DT side; the ML+RCB side is unaffected. Off by default: the
+	// paper's evaluated setting keeps the snapshot-0 partition.
+	Adaptive bool
+	// Drift tunes the adaptive policy's thresholds (zero value =
+	// partition.DriftThresholds defaults). Only read when Adaptive.
+	Drift partition.DriftThresholds
 	// SerialLegs disables the concurrent per-snapshot measurement legs
 	// (used by tests to verify the concurrent path is observationally
 	// identical, and as an escape hatch on single-core hosts).
@@ -115,12 +127,20 @@ func (r *Row) add(o Row) {
 }
 
 // EvalTimes is the measured wall clock of one snapshot's two
-// measurement legs. It feeds the per-snapshot time series (series.go)
-// and is persisted in the checkpoint so a resumed sweep's series is
-// complete.
+// measurement legs plus the snapshot's repartitioning event, if any.
+// It feeds the per-snapshot time series (series.go) and is persisted
+// in the checkpoint so a resumed sweep's series is complete. The
+// repartition fields are omitted when empty, so checkpoints of
+// non-adaptive sweeps keep their historical shape.
 type EvalTimes struct {
 	MCNS int64 `json:"mc_ns"`
 	MLNS int64 `json:"ml_ns"`
+	// Repart is the drift decision that ran before this snapshot's
+	// measurement ("keep", "diffuse", "full"; empty = no repartition
+	// event), and Migrated the number of nodes that changed partition
+	// because of it — the Section 2 repartitioning objective.
+	Repart   string `json:"repart,omitempty"`
+	Migrated int64  `json:"migrated,omitempty"`
 }
 
 // Result is an experiment's outcome.
@@ -200,6 +220,7 @@ func run(ctx context.Context, snaps []sim.Snapshot, cfg Config, ck *Checkpointer
 	var mlState *mlrcb.State
 	prevRCB := map[int64]int32{}
 	var imbFE, imbContact float64
+	var baseCut int64 // adaptive drift baseline (cut after the last repair)
 
 	// start is the first snapshot still to be measured; everything
 	// before it is already in the checkpoint.
@@ -219,6 +240,9 @@ func run(ctx context.Context, snaps []sim.Snapshot, cfg Config, ck *Checkpointer
 			return err
 		}
 		mcByID = labelMap(sn.NodeID, d.Labels)
+		if cfg.Adaptive {
+			baseCut = partition.EdgeCut(d.Graph, d.Labels)
+		}
 		st, err := mlrcb.Decompose(sn.Mesh, mlCfg)
 		if err != nil {
 			return err
@@ -232,16 +256,64 @@ func run(ctx context.Context, snaps []sim.Snapshot, cfg Config, ck *Checkpointer
 	}
 
 	for t, sn := range snaps {
-		if cfg.RepartitionEvery > 0 && t > 0 && t%cfg.RepartitionEvery == 0 {
+		// The carried MCML+DT partition state must advance on every
+		// snapshot — including checkpoint fast-forward (it is
+		// deterministic from the seed, so replaying it is exact); only
+		// the obs counters are gated on t >= start so a resume does not
+		// double-count replayed decisions.
+		repartEvent, repartMigrated := "", int64(0)
+		if cfg.Adaptive && t > 0 {
+			prev := lookupLabels(sn.NodeID, mcByID)
+			d, out, err := core.AdaptiveDecompose(sn.Mesh, prev, baseCut, coreCfg)
+			if err != nil {
+				return nil, err
+			}
+			baseCut = out.BaselineCut
+			if d != nil {
+				mcByID = labelMap(sn.NodeID, d.Labels)
+			}
+			repartEvent, repartMigrated = out.Decision.String(), int64(out.Migrated)
+			if t >= start {
+				switch out.Decision {
+				case partition.DriftKeep:
+					cfg.Obs.Add("repartition_kept", 1)
+				case partition.DriftDiffuse:
+					cfg.Obs.Add("repartition_diffused", 1)
+				case partition.DriftFull:
+					cfg.Obs.Add("repartition_full", 1)
+				}
+				cfg.Obs.Add("repartition_migrated", repartMigrated)
+			}
+		} else if cfg.RepartitionEvery > 0 && t > 0 && t%cfg.RepartitionEvery == 0 {
 			if cfg.Incremental {
 				prev := lookupLabels(sn.NodeID, mcByID)
-				d, _, err := core.Redecompose(sn.Mesh, prev, coreCfg)
+				d, migrated, err := core.Redecompose(sn.Mesh, prev, coreCfg)
 				if err != nil {
 					return nil, err
 				}
 				mcByID = labelMap(sn.NodeID, d.Labels)
-			} else if err := decompose(sn); err != nil {
-				return nil, err
+				repartEvent, repartMigrated = "diffuse", int64(migrated)
+				if t >= start {
+					cfg.Obs.Add("repartition_diffused", 1)
+					cfg.Obs.Add("repartition_migrated", repartMigrated)
+				}
+			} else {
+				prev := lookupLabels(sn.NodeID, mcByID)
+				if err := decompose(sn); err != nil {
+					return nil, err
+				}
+				cur := lookupLabels(sn.NodeID, mcByID)
+				moved := int64(0)
+				for i := range cur {
+					if cur[i] != prev[i] {
+						moved++
+					}
+				}
+				repartEvent, repartMigrated = "full", moved
+				if t >= start {
+					cfg.Obs.Add("repartition_full", 1)
+					cfg.Obs.Add("repartition_migrated", repartMigrated)
+				}
 			}
 		}
 		if t < start {
@@ -271,7 +343,7 @@ func run(ctx context.Context, snaps []sim.Snapshot, cfg Config, ck *Checkpointer
 
 		g := m.NodalGraph(mesh.NodalGraphOptions{NCon: 2})
 		var row Row
-		var ev EvalTimes
+		ev := EvalTimes{Repart: repartEvent, Migrated: repartMigrated}
 		sctx, snapSpan := obs.StartSpan(ctx, "snapshot", obs.Int("t", int64(t)))
 
 		// The two measurement legs are independent — the MC leg reads

@@ -31,6 +31,12 @@ type SeriesPoint struct {
 	// the times recorded by the run that measured them.
 	MCEvalNS int64 `json:"mc_eval_ns"`
 	MLEvalNS int64 `json:"ml_eval_ns"`
+	// Repartitioning event before this snapshot's measurement: the
+	// drift decision ("keep", "diffuse", "full"; empty when no event)
+	// and the node migration volume it caused. Omitted from JSON for
+	// sweeps that never repartition.
+	MCRepart   string `json:"mc_repart,omitempty"`
+	MCMigrated int64  `json:"mc_migrated,omitempty"`
 }
 
 // Series flattens results into one point per (experiment, snapshot),
@@ -51,6 +57,8 @@ func Series(results []*Result) []SeriesPoint {
 			if t < len(r.evals) {
 				p.MCEvalNS = r.evals[t].MCNS
 				p.MLEvalNS = r.evals[t].MLNS
+				p.MCRepart = r.evals[t].Repart
+				p.MCMigrated = r.evals[t].Migrated
 			}
 			out = append(out, p)
 		}
@@ -71,7 +79,7 @@ func WriteSeriesCSV(w io.Writer, results []*Result) error {
 	header := []string{"k", "snapshot",
 		"mc_fecomm", "mc_ntnodes", "mc_nremote",
 		"ml_fecomm", "ml_m2mcomm", "ml_updcomm", "ml_nremote",
-		"mc_eval_ns", "ml_eval_ns"}
+		"mc_eval_ns", "ml_eval_ns", "mc_repart", "mc_migrated"}
 	if err := cw.Write(header); err != nil {
 		return err
 	}
@@ -87,6 +95,8 @@ func WriteSeriesCSV(w io.Writer, results []*Result) error {
 			strconv.FormatInt(p.MLNRemote, 10),
 			strconv.FormatInt(p.MCEvalNS, 10),
 			strconv.FormatInt(p.MLEvalNS, 10),
+			p.MCRepart,
+			strconv.FormatInt(p.MCMigrated, 10),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

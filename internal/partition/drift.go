@@ -1,0 +1,132 @@
+package partition
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// This file implements the drift policy for warm-started adaptive
+// repartitioning across simulation snapshots (Section 4.3: updated
+// partitions should come from a multi-constraint repartitioner rather
+// than from scratch). Each snapshot inherits the previous snapshot's
+// labels and the policy grades how far they have decayed:
+//
+//	keep    — imbalance within (1+eps) and the edge cut has not
+//	          drifted past CutDrift relative to the baseline: the old
+//	          partition is still good, skip all partitioning work.
+//	diffuse — moderate drift: run the diffusion Repartition, which
+//	          restores balance while minimizing migration.
+//	full    — imbalance or cut drift past the Full* thresholds: the
+//	          old partition is too degraded for local repair, fall
+//	          back to the full multilevel Partition.
+//
+// Tracking *both* imbalance and cut drift matters: erosion can keep a
+// partition perfectly balanced while the cut decays a little every
+// snapshot, and a policy that only watched imbalance would never
+// notice. The baseline cut is owned by the caller and must be reset
+// only when a diffuse/full repair actually runs — resetting it on keep
+// would let slow drift accumulate silently forever.
+
+// DriftDecision is the policy's verdict for one snapshot.
+type DriftDecision int
+
+const (
+	// DriftKeep reuses the inherited labels unchanged.
+	DriftKeep DriftDecision = iota
+	// DriftDiffuse repairs the inherited labels with Repartition.
+	DriftDiffuse
+	// DriftFull discards the inherited labels and runs Partition.
+	DriftFull
+)
+
+func (d DriftDecision) String() string {
+	switch d {
+	case DriftKeep:
+		return "keep"
+	case DriftDiffuse:
+		return "diffuse"
+	case DriftFull:
+		return "full"
+	}
+	return "unknown"
+}
+
+// DriftThresholds configures the policy ladder. The zero value selects
+// the defaults, so callers can leave it empty.
+type DriftThresholds struct {
+	// CutDrift is the relative edge-cut growth over the baseline above
+	// which the labels are repaired by diffusion (default 0.05: a 5%
+	// worse cut triggers Repartition).
+	CutDrift float64
+	// FullCutDrift is the relative cut growth above which diffusion is
+	// not trusted and the full multilevel partitioner runs instead
+	// (default 0.25).
+	FullCutDrift float64
+	// FullImbalance is the absolute LoadImbalance above which the full
+	// partitioner runs (default 1 + 4*eps; imbalance between 1+eps and
+	// this triggers diffusion).
+	FullImbalance float64
+}
+
+// WithDefaults returns t with zero fields replaced by the defaults for
+// balance tolerance eps.
+func (t DriftThresholds) WithDefaults(eps float64) DriftThresholds {
+	if eps < 0.01 {
+		eps = 0.01 // mirror Options.withDefaults' clamp
+	}
+	if t.CutDrift <= 0 {
+		t.CutDrift = 0.05
+	}
+	if t.FullCutDrift <= 0 {
+		t.FullCutDrift = 0.25
+	}
+	if t.FullImbalance <= 1 {
+		t.FullImbalance = 1 + 4*eps
+	}
+	return t
+}
+
+// DriftState is the measured quality of an inherited labeling on the
+// current snapshot's graph.
+type DriftState struct {
+	Cut       int64   // edge cut of the inherited labels
+	Imbalance float64 // worst LoadImbalance over all constraints
+}
+
+// MeasureDrift evaluates inherited labels against the current graph.
+// Both reductions are exact and deterministic for any worker count.
+func MeasureDrift(g *graph.Graph, labels []int32, k int) DriftState {
+	st := DriftState{Cut: EdgeCut(g, labels), Imbalance: 1}
+	for _, imb := range LoadImbalances(g, labels, k) {
+		if imb > st.Imbalance {
+			st.Imbalance = imb
+		}
+	}
+	return st
+}
+
+// Decide grades cur against the baseline edge cut (the cut right after
+// the last diffuse/full repair) and returns the ladder rung. A
+// baseline of zero with a non-zero current cut counts as unbounded
+// drift: a cut appeared where there was none.
+func (t DriftThresholds) Decide(cur DriftState, baseCut int64, eps float64) DriftDecision {
+	if eps < 0.01 {
+		eps = 0.01
+	}
+	t = t.WithDefaults(eps)
+	drift := 0.0
+	switch {
+	case baseCut > 0:
+		drift = float64(cur.Cut-baseCut) / float64(baseCut)
+	case cur.Cut > 0:
+		drift = math.Inf(1)
+	}
+	switch {
+	case cur.Imbalance > t.FullImbalance || drift > t.FullCutDrift:
+		return DriftFull
+	case cur.Imbalance > 1+eps || drift > t.CutDrift:
+		return DriftDiffuse
+	}
+	return DriftKeep
+}

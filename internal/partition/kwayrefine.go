@@ -2,6 +2,7 @@ package partition
 
 import (
 	"math/rand"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/pool"
@@ -71,6 +72,9 @@ func accumPartitionWeights(g *graph.Graph, labels []int32, k int) ([][]int64, []
 }
 
 // kwayState tracks a k-way partition's per-partition weight vectors.
+// The scratch fields are reused across every refinement and balancing
+// pass on the state, so a Repartition that alternates passes allocates
+// its working memory once.
 type kwayState struct {
 	g      *graph.Graph
 	labels []int32
@@ -80,11 +84,21 @@ type kwayState struct {
 	total  []int64
 	caps   []int64 // per-constraint cap (1+eps)*total/k
 	avg    []float64
+
+	// Scratch (reusable across passes; always left zeroed/empty).
+	conn    []int64 // per-partition connectivity of the current vertex
+	touched []int32 // partitions with non-zero conn
+	rank    []int32 // balance tie-break rank per vertex (seeded)
+	byPart  [][]int32
+	pos     []int32 // index of each vertex within its byPart list
+	drain   drainHeap
 }
 
 func newKwayState(g *graph.Graph, labels []int32, k int, eps float64) *kwayState {
 	s := &kwayState{g: g, labels: labels, k: k, total: g.TotalWeights()}
 	s.pw, s.cnt = accumPartitionWeights(g, labels, k)
+	s.conn = make([]int64, k)
+	s.touched = make([]int32, 0, 16)
 	s.caps = make([]int64, g.NCon)
 	s.avg = make([]float64, g.NCon)
 	for j := range s.caps {
@@ -117,15 +131,18 @@ func (s *kwayState) loadOf(p int) float64 {
 	return worst
 }
 
-// fits reports whether adding v to partition p keeps p under its caps
-// without emptying v's current partition.
+// fits reports whether moving v to partition p is balance-safe: no
+// constraint of p is pushed over its cap (a constraint already over
+// cap tolerates additions of zero weight — they don't worsen it, and
+// forbidding them can wedge multi-constraint drains), and v's current
+// partition is not emptied.
 func (s *kwayState) fits(v, p int) bool {
 	if s.cnt[s.labels[v]] <= 1 {
 		return false
 	}
 	w := s.g.Weights(v)
 	for j, wj := range w {
-		if s.total[j] == 0 {
+		if s.total[j] == 0 || wj == 0 {
 			continue
 		}
 		if s.pw[p][j]+int64(wj) > s.caps[j] {
@@ -228,9 +245,7 @@ func (s *kwayState) fillEmpty() {
 // number of moves applied.
 func (s *kwayState) greedyPass(rng *rand.Rand) int {
 	moves := 0
-	// Scratch: connectivity of the current vertex to each partition.
-	conn := make([]int64, s.k)
-	touched := make([]int32, 0, 16)
+	conn, touched := s.conn, s.touched
 	for _, v := range rng.Perm(s.g.NV()) {
 		adj := s.g.Neighbors(v)
 		wgt := s.g.EdgeWeights(v)
@@ -274,95 +289,422 @@ func (s *kwayState) greedyPass(rng *rand.Rand) int {
 		}
 		touched = touched[:0]
 	}
+	s.touched = touched[:0]
 	return moves
 }
 
-// balance drains overweight partitions: while some partition exceeds a
-// cap, move its cheapest boundary vertex to a partition with room,
-// preferring adjacent partitions (smallest cut damage) but accepting
-// any partition with room when the overweight one has no suitable
-// neighbor (the region graph G' can be very coarse). Gives up after
-// a bounded number of moves so pathological instances terminate.
-func (s *kwayState) balance(rng *rand.Rand) {
-	maxMoves := 4*s.g.NV() + 64
-	conn := make([]int64, s.k)
-	touched := make([]int32, 0, 16)
+// drainCand is one candidate move out of the partition being drained:
+// vertex v moves to partition to at edge-cut cost cost (positive =
+// worsens the cut). rank is the vertex's position in the balance
+// call's seeded permutation, the deterministic tie-break.
+type drainCand struct {
+	cost int64
+	rank int32
+	v    int32
+	to   int32
+}
 
-	for iter := 0; iter < maxMoves; iter++ {
-		// Find the most overloaded (partition, constraint).
-		worstP, worstLoad := -1, 1.0
-		for p := 0; p < s.k; p++ {
-			for j := 0; j < s.g.NCon; j++ {
-				if s.total[j] == 0 || s.pw[p][j] <= s.caps[j] {
-					continue
-				}
-				if l := float64(s.pw[p][j]) / s.avg[j]; l > worstLoad {
-					worstP, worstLoad = p, l
-				}
-			}
-		}
-		if worstP < 0 {
-			return // balanced
-		}
+// drainHeap is a min-heap of drainCand ordered by (cost, rank). A
+// hand-rolled sift avoids the container/heap interface boxing on the
+// balancer's hot path.
+type drainHeap []drainCand
 
-		// Choose the move out of worstP with the least cut damage.
-		bestV, bestTo := -1, -1
-		var bestCost int64 = 1 << 62
-		for _, v := range rng.Perm(s.g.NV()) {
-			if int(s.labels[v]) != worstP {
+func (h drainHeap) less(i, j int) bool {
+	if h[i].cost != h[j].cost {
+		return h[i].cost < h[j].cost
+	}
+	return h[i].rank < h[j].rank
+}
+
+func (h *drainHeap) push(c drainCand) {
+	*h = append(*h, c)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *drainHeap) pop() drainCand {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(l, small) {
+			small = l
+		}
+		if r < n && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		old[i], old[small] = old[small], old[i]
+		i = small
+	}
+	return top
+}
+
+// overloaded returns the most overloaded (partition, constraint) pair,
+// or (-1, -1) when every partition is within its caps.
+func (s *kwayState) overloaded() (worstP, worstJ int) {
+	return s.overloadedSkipping(nil)
+}
+
+// overloadedSkipping is overloaded restricted to partitions not marked
+// in skip (nil = consider all).
+func (s *kwayState) overloadedSkipping(skip []bool) (worstP, worstJ int) {
+	worstP, worstJ = -1, -1
+	worstLoad := 1.0
+	for p := 0; p < s.k; p++ {
+		if skip != nil && skip[p] {
+			continue
+		}
+		for j := 0; j < s.g.NCon; j++ {
+			if s.total[j] == 0 || s.pw[p][j] <= s.caps[j] {
 				continue
 			}
-			adj := s.g.Neighbors(v)
-			wgt := s.g.EdgeWeights(v)
-			for i, u := range adj {
-				p := s.labels[u]
-				if conn[p] == 0 {
-					touched = append(touched, p)
-				}
-				conn[p] += int64(wgt[i])
-			}
-			for _, p := range touched {
-				if int(p) != worstP && s.fits(v, int(p)) {
-					cost := conn[s.labels[v]] - conn[p]
-					if cost < bestCost {
-						bestV, bestTo, bestCost = v, int(p), cost
-					}
-				}
-			}
-			for _, p := range touched {
-				conn[p] = 0
-			}
-			touched = touched[:0]
-			if bestV >= 0 && bestCost <= 0 {
-				break // free (or profitable) balance move
+			if l := float64(s.pw[p][j]) / s.avg[j]; l > worstLoad {
+				worstP, worstJ, worstLoad = p, j, l
 			}
 		}
-		if bestV < 0 {
-			// No adjacent partition has room: teleport the lightest
-			// vertex of worstP to the globally least loaded partition.
-			toP, toLoad := -1, 1e18
-			for p := 0; p < s.k; p++ {
-				if p == worstP {
+	}
+	return worstP, worstJ
+}
+
+// bestMove returns the least-cut-damage fitting move for a vertex of
+// the partition being drained: the first adjacent partition (in
+// adjacency order) achieving the minimum cost. ok is false when no
+// adjacent partition fits.
+func (s *kwayState) bestMove(v, from int) (cost int64, to int, ok bool) {
+	conn, touched := s.conn, s.touched
+	adj := s.g.Neighbors(v)
+	wgt := s.g.EdgeWeights(v)
+	for i, u := range adj {
+		p := s.labels[u]
+		if conn[p] == 0 {
+			touched = append(touched, p)
+		}
+		conn[p] += int64(wgt[i])
+	}
+	best := int64(1) << 62
+	to = -1
+	for _, p := range touched {
+		if int(p) != from && s.fits(v, int(p)) {
+			if c := conn[from] - conn[p]; c < best {
+				best, to = c, int(p)
+			}
+		}
+	}
+	for _, p := range touched {
+		conn[p] = 0
+	}
+	s.touched = touched[:0]
+	return best, to, to >= 0
+}
+
+// buildMembership (re)builds the per-partition vertex lists reusing
+// the state's backing arrays.
+func (s *kwayState) buildMembership() {
+	if s.byPart == nil {
+		s.byPart = make([][]int32, s.k)
+		s.pos = make([]int32, s.g.NV())
+	}
+	for p := range s.byPart {
+		s.byPart[p] = s.byPart[p][:0]
+	}
+	for v, l := range s.labels {
+		s.pos[v] = int32(len(s.byPart[l]))
+		s.byPart[l] = append(s.byPart[l], int32(v))
+	}
+}
+
+// moveTracked is move plus O(1) membership-list maintenance
+// (swap-remove from the source list, append to the destination).
+func (s *kwayState) moveTracked(v, p int) {
+	from := s.labels[v]
+	list := s.byPart[from]
+	i := s.pos[v]
+	last := list[len(list)-1]
+	list[i] = last
+	s.pos[last] = i
+	s.byPart[from] = list[:len(list)-1]
+	s.pos[v] = int32(len(s.byPart[p]))
+	s.byPart[p] = append(s.byPart[p], int32(v))
+	s.move(v, p)
+}
+
+// makeRoom finds a two-hop relief move for a wedged drain of
+// (worstP, worstJ): a receiver q with room on worstJ is blocked only
+// by being full on its other constraints, so shed from q the lightest
+// vertex that carries q's tightest blocking constraint but no worstJ
+// weight, into the least-loaded partition that fits it. Deterministic:
+// receivers and destinations are tried in increasing (load, index)
+// order, the shed vertex minimizes (blocking weight, index). Returns
+// (-1, -1) when no such move exists.
+func (s *kwayState) makeRoom(worstP, worstJ int) (v, to int) {
+	order := make([]int, 0, s.k-1)
+	for p := 0; p < s.k; p++ {
+		if p != worstP {
+			order = append(order, p)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		la, lb := s.loadOf(order[a]), s.loadOf(order[b])
+		if la != lb {
+			return la < lb
+		}
+		return order[a] < order[b]
+	})
+	for _, q := range order {
+		if s.pw[q][worstJ] >= s.caps[worstJ] {
+			continue // no room on the overloaded constraint anyway
+		}
+		// q's tightest other constraint is what blocks arrivals.
+		jStar, tight := -1, 0.0
+		for j := 0; j < s.g.NCon; j++ {
+			if j == worstJ || s.total[j] == 0 {
+				continue
+			}
+			if l := float64(s.pw[q][j]) / float64(s.caps[j]); l > tight {
+				jStar, tight = j, l
+			}
+		}
+		if jStar < 0 {
+			continue
+		}
+		for _, r := range order {
+			if r == q {
+				continue
+			}
+			bestV, bestW := -1, int64(1)<<62
+			for _, u := range s.byPart[q] {
+				if s.g.Weight(int(u), worstJ) != 0 || s.g.Weight(int(u), jStar) <= 0 {
 					continue
 				}
-				if l := s.loadOf(p); l < toLoad {
-					toP, toLoad = p, l
+				if !s.fits(int(u), r) {
+					continue
+				}
+				w := int64(s.g.Weight(int(u), jStar))
+				if w < bestW || (w == bestW && int(u) < bestV) {
+					bestV, bestW = int(u), w
 				}
 			}
-			if toP < 0 {
-				return
+			if bestV >= 0 {
+				return bestV, r
 			}
-			for v := 0; v < s.g.NV(); v++ {
-				if int(s.labels[v]) == worstP && s.fits(v, toP) {
-					bestV, bestTo = v, toP
+		}
+	}
+	return -1, -1
+}
+
+// balance drains overweight partitions: while some (partition,
+// constraint) pair exceeds a cap, move a member carrying weight on the
+// overloaded constraint to a partition with room, preferring adjacent
+// partitions (smallest cut damage) but accepting any partition with
+// room when the overweight one has no suitable neighbor (the region
+// graph G' can be very coarse). Only vertices with positive weight on
+// the overloaded constraint are candidates — every applied move is
+// guaranteed progress, so the drain cannot churn zero-weight vertices
+// around without reducing the overload. A partition whose drain
+// wedges (nothing fits anywhere) is marked stuck and skipped while the
+// other overloads drain; stuck marks are retried whenever later moves
+// changed the state. Gives up after a bounded number of moves so
+// pathological instances terminate.
+//
+// The drain is boundary-driven: per overloaded (partition, constraint)
+// it builds a min-heap of (cut-cost, seeded-rank) candidates from that
+// partition's members once, then pops, revalidates, and applies moves,
+// pushing refreshed candidates only for the moved vertex's neighbors
+// that stay in the drained partition. Within one drain session the
+// destinations only gain weight, so a candidate with no fitting target
+// can be dropped instead of rescanned — the former full rescan of all
+// NV vertices per drained vertex (with a fresh rng.Perm each) is gone.
+// Determinism: a single seeded permutation per call fixes the
+// tie-break ranks, all costs are exact integers, and a state that is
+// already balanced returns before consuming any randomness.
+func (s *kwayState) balance(rng *rand.Rand) {
+	worstP, worstJ := s.overloaded()
+	if worstP < 0 {
+		return // balanced; no rng consumed
+	}
+	nv := s.g.NV()
+	if s.rank == nil {
+		s.rank = make([]int32, nv)
+	}
+	for i, v := range rng.Perm(nv) {
+		s.rank[v] = int32(i)
+	}
+	s.buildMembership()
+
+	var stuck []bool // partitions whose drain wedged since the last move
+	movedSinceStuck := false
+	maxMoves := 4*nv + 64
+	heapP, heapJ := -1, -1 // (partition, constraint) the heap describes
+	h := &s.drain
+	for moves := 0; moves < maxMoves; {
+		if heapP != worstP || heapJ != worstJ {
+			*h = (*h)[:0]
+			for _, v := range s.byPart[worstP] {
+				if s.g.Weight(int(v), worstJ) <= 0 {
+					continue // moving it would not reduce the overload
+				}
+				if cost, to, ok := s.bestMove(int(v), worstP); ok {
+					h.push(drainCand{cost: cost, rank: s.rank[v], v: v, to: int32(to)})
+				}
+			}
+			heapP, heapJ = worstP, worstJ
+		}
+
+		// Pop candidates lazily: skip vertices that already left the
+		// partition, re-queue entries whose cost went stale-high (a
+		// target filled up), accept exact ones. Cost decreases are
+		// always accompanied by a fresh exact push below, so the first
+		// validated pop is the true (cost, rank) minimum.
+		bestV, bestTo := -1, -1
+		for len(*h) > 0 {
+			c := h.pop()
+			if int(s.labels[c.v]) != worstP {
+				continue
+			}
+			cost, to, ok := s.bestMove(int(c.v), worstP)
+			if !ok {
+				continue // no fitting target; cannot improve this session
+			}
+			if cost > c.cost {
+				h.push(drainCand{cost: cost, rank: c.rank, v: c.v, to: int32(to)})
+				continue
+			}
+			bestV, bestTo = int(c.v), to
+			break
+		}
+
+		if bestV < 0 {
+			// No adjacent partition has room: teleport the lightest
+			// vertex carrying the overloaded constraint — minimum
+			// positive weight on worstJ, lowest vertex id on ties — to
+			// the least loaded partition that fits one. Partitions are
+			// tried in increasing (load, index) order so a receiver
+			// full on one constraint cannot wedge the whole drain while
+			// a slightly more loaded one still has room.
+			order := make([]int, 0, s.k-1)
+			for p := 0; p < s.k; p++ {
+				if p != worstP {
+					order = append(order, p)
+				}
+			}
+			sort.Slice(order, func(a, b int) bool {
+				la, lb := s.loadOf(order[a]), s.loadOf(order[b])
+				if la != lb {
+					return la < lb
+				}
+				return order[a] < order[b]
+			})
+			for _, toP := range order {
+				var bestW int64 = 1 << 62
+				for _, v := range s.byPart[worstP] {
+					w := int64(s.g.Weight(int(v), worstJ))
+					if w <= 0 || !s.fits(int(v), toP) {
+						continue
+					}
+					if w < bestW || (w == bestW && int(v) < bestV) {
+						bestV, bestTo, bestW = int(v), toP, w
+					}
+				}
+				if bestV >= 0 {
 					break
 				}
 			}
-			if bestV < 0 {
-				return // nothing fits anywhere; give up
+		}
+
+		fromMakeRoom := false
+		if bestV < 0 {
+			// Two-hop relief: every partition with room on worstJ is
+			// blocked by its *other* constraints (the paper's shape:
+			// receivers with contact-constraint room are exactly full
+			// on the FE constraint). Shed one blocking vertex from
+			// such a receiver so the next drain step can land there.
+			bestV, bestTo = s.makeRoom(worstP, worstJ)
+			fromMakeRoom = bestV >= 0
+		}
+
+		if bestV < 0 {
+			// This partition's drain is wedged. Skip it and work on the
+			// next overload; retry wedged partitions once later moves
+			// have changed the state (room may have opened up).
+			if stuck == nil {
+				stuck = make([]bool, s.k)
+			}
+			stuck[worstP] = true
+			worstP, worstJ = s.overloadedSkipping(stuck)
+			if worstP < 0 {
+				if !movedSinceStuck {
+					return // wedged with no progress since: give up
+				}
+				for p := range stuck {
+					stuck[p] = false
+				}
+				movedSinceStuck = false
+				worstP, worstJ = s.overloaded()
+				if worstP < 0 {
+					return
+				}
+			}
+			continue
+		}
+
+		s.moveTracked(bestV, bestTo)
+		moves++
+		movedSinceStuck = true
+		if fromMakeRoom {
+			// A receiver just *lost* weight, which invalidates the
+			// heap's "destinations only gain weight" drop rule:
+			// rebuild it so dropped candidates get another look.
+			heapP, heapJ = -1, -1
+		}
+		prevP, prevJ := worstP, worstJ
+		if worstP, worstJ = s.overloadedSkipping(stuck); worstP < 0 {
+			if stuck == nil {
+				return // nothing overloaded at all
+			}
+			allClear := true
+			for p := range stuck {
+				if stuck[p] {
+					allClear = false
+					break
+				}
+			}
+			if allClear {
+				return
+			}
+			for p := range stuck {
+				stuck[p] = false
+			}
+			movedSinceStuck = false
+			worstP, worstJ = s.overloaded()
+			if worstP < 0 {
+				return
+			}
+			continue
+		}
+		if !fromMakeRoom && worstP == prevP && worstJ == prevJ {
+			for _, u := range s.g.Neighbors(bestV) {
+				if int(s.labels[u]) == worstP && s.g.Weight(int(u), worstJ) > 0 {
+					if cost, to, ok := s.bestMove(int(u), worstP); ok {
+						h.push(drainCand{cost: cost, rank: s.rank[u], v: u, to: int32(to)})
+					}
+				}
 			}
 		}
-		s.move(bestV, bestTo)
 	}
 }
 

@@ -34,9 +34,6 @@ func Repartition(g *graph.Graph, labels []int32, opt RepartitionOptions) (migrat
 		return 0, err
 	}
 	o := opt.Options.withDefaults()
-	if opt.ITR <= 0 {
-		opt.ITR = 1000
-	}
 	if o.K <= 1 || g.NV() == 0 {
 		return 0, nil
 	}
@@ -53,13 +50,7 @@ func Repartition(g *graph.Graph, labels []int32, opt RepartitionOptions) (migrat
 	// Phase 2: migration-aware refinement. Like greedyPass, but a move
 	// away from the vertex's *original* partition must overcome the
 	// migration penalty, and a move back home gets it as a bonus.
-	penalty := int64(1)
-	if opt.ITR > 0 {
-		// Express the penalty in edge-weight units: average edge
-		// weight divided by ITR, at least 1 for small ITR.
-		avg := float64(g.TotalEdgeWeight()) / float64(maxInt(g.NE(), 1))
-		penalty = int64(avg/opt.ITR + 1)
-	}
+	penalty := migrationPenalty(g, opt.ITR)
 	for it := 0; it < o.RefineIters; it++ {
 		if s.migrationAwarePass(rng, old, penalty) == 0 {
 			break
@@ -75,12 +66,29 @@ func Repartition(g *graph.Graph, labels []int32, opt RepartitionOptions) (migrat
 	return migrated, nil
 }
 
+// defaultITR is the migration-cost knob's default: the ParMETIS-style
+// "time saved per unit of edge cut over time to migrate a unit of
+// vertex weight" ratio. The penalty derivation below divides by it, so
+// defaulting and derivation live side by side and cannot drift apart.
+const defaultITR = 1000
+
+// migrationPenalty converts an ITR value (<= 0 selects defaultITR)
+// into the integer edge-weight penalty charged to moves that leave a
+// vertex's original partition: average edge weight divided by ITR, at
+// least 1 so migration is never entirely free.
+func migrationPenalty(g *graph.Graph, itr float64) int64 {
+	if itr <= 0 {
+		itr = defaultITR
+	}
+	avg := float64(g.TotalEdgeWeight()) / float64(maxInt(g.NE(), 1))
+	return int64(avg/itr + 1)
+}
+
 // migrationAwarePass is greedyPass with a migration cost: moving v to
 // a partition other than old[v] costs extra, moving it home refunds.
 func (s *kwayState) migrationAwarePass(rng *rand.Rand, old []int32, penalty int64) int {
 	moves := 0
-	conn := make([]int64, s.k)
-	touched := make([]int32, 0, 16)
+	conn, touched := s.conn, s.touched
 	for _, v := range rng.Perm(s.g.NV()) {
 		adj := s.g.Neighbors(v)
 		wgt := s.g.EdgeWeights(v)
@@ -125,6 +133,7 @@ func (s *kwayState) migrationAwarePass(rng *rand.Rand, old []int32, penalty int6
 		}
 		touched = touched[:0]
 	}
+	s.touched = touched[:0]
 	return moves
 }
 
