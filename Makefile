@@ -28,6 +28,8 @@ race:
 fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzKWay -fuzztime=10s -fuzzminimizetime=2s ./internal/partition
 	go test -run='^$$' -fuzz=FuzzTreeDeserialize -fuzztime=10s -fuzzminimizetime=2s ./internal/dtree
+	go test -run='^$$' -fuzz=FuzzHilbertKey -fuzztime=10s -fuzzminimizetime=2s ./internal/sfc
+	go test -run='^$$' -fuzz=FuzzBKMeansAssign -fuzztime=10s -fuzzminimizetime=2s ./internal/bkmeans
 
 # Deterministic fault-injection suite under the race detector: the
 # chaos matrix (seeded fault schedules must leave engine results
@@ -56,7 +58,10 @@ trace:
 # Microbenchmarks plus the serial-vs-parallel KWay comparison and the
 # amortized adaptive-vs-scratch snapshot sweep; the latter two rewrite
 # BENCH_partition.json (checked in for provenance — numbers depend on
-# GOMAXPROCS, recorded in the file).
+# GOMAXPROCS, recorded in the file). The last line rewrites
+# BENCH_backends.json, the 4-way partitioner-backend crossover table
+# (MCML+DT vs ML+RCB vs SFC vs BKMeans) on the paper-scale scene.
 bench:
 	go test -bench=. -benchmem ./internal/partition
 	go run ./cmd/partition -bench-json BENCH_partition.json -k 16 -bench-snapshots 8
+	go run ./cmd/contactbench -k 16 -snapshots 4 -backends-json BENCH_backends.json

@@ -407,20 +407,17 @@ func ksuffix(k int) string {
 }
 
 // BenchmarkAblationGeometric compares the multilevel MCML+DT pipeline
-// with the geometry-aware multi-constraint RCB variant the paper's
-// conclusions propose (box subdomains, minimal trees, worse cut).
+// with the geometric backends the paper's conclusions propose (box or
+// curve-segment subdomains, minimal trees, worse cut): multi-constraint
+// RCB, Hilbert-curve splitting, and balanced k-means.
 func BenchmarkAblationGeometric(b *testing.B) {
 	snaps := benchSnapshots(b)
 	m := snaps[0].Mesh
-	for _, geo := range []bool{false, true} {
-		name := "multilevel"
-		if geo {
-			name = "geometric"
-		}
-		b.Run(name, func(b *testing.B) {
+	for _, be := range []string{"multilevel", "rcb", "sfc", "bkmeans"} {
+		b.Run(be, func(b *testing.B) {
 			var s core.Stats
 			for i := 0; i < b.N; i++ {
-				d, err := core.Decompose(m, core.Config{K: 25, Seed: 1, Geometric: geo, Parallel: true})
+				d, err := core.Decompose(m, core.Config{K: 25, Seed: 1, Backend: be, Parallel: true})
 				if err != nil {
 					b.Fatal(err)
 				}

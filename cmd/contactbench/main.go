@@ -23,6 +23,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -74,6 +75,9 @@ func run() int {
 		engineLeg  = flag.Bool("engine", false, "also run one resilient engine iteration per k on the first snapshot")
 		chaosSeed  = flag.Int64("chaos", 0, "with -engine: inject deterministic first-attempt transport faults from this seed (0 = off)")
 
+		backendF     = flag.String("backend", "", "MCML+DT partitioning backend: multilevel (default), rcb, sfc, or bkmeans")
+		backendsJSON = flag.String("backends-json", "", "run the 4-way backend comparison (MCML+DT, ML+RCB, SFC, BKMeans) per k and write the crossover table to this JSON file")
+		backendsRuns = flag.Int("backends-runs", 3, "with -backends-json: timing passes per backend (best wins)")
 		adaptive     = flag.Bool("adaptive", false, "adaptive warm-start repartitioning: keep/diffuse/full per snapshot by drift policy")
 		repartEvery  = flag.Int("repart-every", 0, "repartition the MCML+DT side every N snapshots (0 = every snapshot from scratch)")
 		incremental  = flag.Bool("incremental", false, "with -repart-every: warm-start via diffusion instead of from scratch")
@@ -157,6 +161,17 @@ func run() int {
 	}
 
 	col := obs.New()
+	if *backendsJSON != "" {
+		if err := runBackendCompare(ctx, snaps, ks, *seed, *backendsRuns, *backendsJSON, col); err != nil {
+			log.Print(err)
+			return 1
+		}
+		if *phases {
+			fmt.Println("\nPer-phase timings and counters:")
+			col.Report().WriteTable(os.Stdout)
+		}
+		return 0
+	}
 	var tracer *obs.Tracer
 	var rootSpan *obs.Span
 	if *tracePath != "" {
@@ -193,6 +208,7 @@ func run() int {
 	for i, k := range ks {
 		cfgs[i] = harness.Config{
 			K: k, Seed: *seed, Obs: col,
+			Backend:          *backendF,
 			Adaptive:         *adaptive,
 			RepartitionEvery: *repartEvery,
 			Incremental:      *incremental,
@@ -363,6 +379,59 @@ func writeRepartSummary(w io.Writer, results []*harness.Result) {
 	}
 }
 
+// backendsReport is the BENCH_backends.json schema: one 4-way
+// comparison per k — the crossover table of cut, per-constraint
+// imbalance, NRemote, and ns/partition versus k.
+type backendsReport struct {
+	Nodes       int                          `json:"nodes"`
+	Snapshots   int                          `json:"snapshots"`
+	Seed        int64                        `json:"seed"`
+	Runs        int                          `json:"runs"`
+	Comparisons []*harness.BackendComparison `json:"comparisons"`
+}
+
+// runBackendCompare runs the 4-way backend comparison for every k,
+// prints the crossover table, and writes the JSON report.
+func runBackendCompare(ctx context.Context, snaps []sim.Snapshot, ks []int, seed int64, runs int, path string, col *obs.Collector) error {
+	rep := backendsReport{
+		Nodes:     snaps[0].Mesh.NumNodes(),
+		Snapshots: len(snaps),
+		Seed:      seed,
+		Runs:      runs,
+	}
+	fmt.Println("Backend comparison (averages over the snapshot sequence; partition time best-of-runs):")
+	for _, k := range ks {
+		t0 := time.Now()
+		cmp, err := harness.CompareBackends(ctx, snaps, harness.Config{K: k, Seed: seed, Obs: col}, runs)
+		if err != nil {
+			return err
+		}
+		rep.Comparisons = append(rep.Comparisons, cmp)
+		fmt.Printf("\n  k=%d [%.1fs]:\n", k, time.Since(t0).Seconds())
+		fmt.Printf("  %-10s %12s %8s %8s %10s %14s %10s\n",
+			"leg", "cut", "imbFE", "imbC", "NRemote", "partition_ns", "speedup")
+		base := cmp.Rows[0].PartitionNS
+		for _, row := range cmp.Rows {
+			speedup := 0.0
+			if row.PartitionNS > 0 {
+				speedup = float64(base) / float64(row.PartitionNS)
+			}
+			fmt.Printf("  %-10s %12.0f %8.3f %8.3f %10.0f %14d %9.1fx\n",
+				row.Leg, row.Cut, row.ImbalanceFE, row.ImbalanceContact,
+				row.NRemote, row.PartitionNS, speedup)
+		}
+	}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", path)
+	return nil
+}
+
 func parseKs(s string) ([]int, error) {
 	var ks []int
 	for _, part := range strings.Split(s, ",") {
@@ -390,7 +459,7 @@ func runAblations(snaps []sim.Snapshot, ks []int, seed int64) {
 		{"no boundary reshaping", func(c harness.Config) harness.Config { c.SkipReshape = true; return c }},
 		{"loose tree filter (raw leaf rectangles)", func(c harness.Config) harness.Config { c.LooseTreeFilter = true; return c }},
 		{"hybrid updates (repartition every 10)", func(c harness.Config) harness.Config { c.RepartitionEvery = 10; return c }},
-		{"geometric MC-RCB pipeline (future work)", func(c harness.Config) harness.Config { c.Geometric = true; return c }},
+		{"geometric MC-RCB pipeline (future work)", func(c harness.Config) harness.Config { c.Backend = "rcb"; return c }},
 		{"margin-aware tree splits (future work)", func(c harness.Config) harness.Config { c.WideGaps = true; return c }},
 	}
 	for _, k := range ks {

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	partition -mesh FILE -k N [-algo mcmldt|mlrcb] [-seed N]
+//	          [-backend multilevel|rcb|sfc|bkmeans]
 //	          [-imbalance F] [-cweight N] [-maxp N] [-maxi N] [-tol F]
 //	partition -graph FILE.graph -k N [-method rb|direct]   # raw METIS graph
 //	partition ... -phases -obs rep.json                    # per-phase timings
@@ -22,6 +23,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/mesh"
@@ -42,6 +44,7 @@ func main() {
 		method    = flag.String("method", "rb", "graph partitioning method: rb (recursive bisection) or direct (multilevel k-way)")
 		k         = flag.Int("k", 25, "number of partitions")
 		algo      = flag.String("algo", "mcmldt", "algorithm: mcmldt or mlrcb")
+		backendF  = flag.String("backend", "", "mcmldt partitioning backend: multilevel (default), rcb, sfc, or bkmeans")
 		seed      = flag.Int64("seed", 1, "random seed")
 		imbalance = flag.Float64("imbalance", 0.05, "per-constraint load imbalance tolerance")
 		cweight   = flag.Int("cweight", 5, "contact-contact edge weight (mcmldt)")
@@ -73,6 +76,9 @@ func main() {
 	}
 	if *maxp < 0 || *maxi < 0 {
 		log.Fatalf("-maxp/-maxi must be >= 0 (0 = auto), got %d/%d", *maxp, *maxi)
+	}
+	if _, err := backend.Lookup(*backendF); err != nil {
+		log.Fatal(err)
 	}
 
 	if *cpuProf != "" {
@@ -135,13 +141,18 @@ func main() {
 		d, err := core.Decompose(m, core.Config{
 			K: *k, Seed: *seed, Imbalance: *imbalance,
 			Nodal: nodal, MaxPure: *maxp, MaxImpure: *maxi, Parallel: true,
-			Obs: col,
+			Backend: *backendF,
+			Obs:     col,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		s := d.Stats()
-		fmt.Printf("MCML+DT %d-way (max_p=%d, max_i=%d):\n", *k, d.Cfg.MaxPure, d.Cfg.MaxImpure)
+		name := "MCML+DT"
+		if *backendF != "" && *backendF != "multilevel" {
+			name = fmt.Sprintf("MCML+DT[%s]", *backendF)
+		}
+		fmt.Printf("%s %d-way (max_p=%d, max_i=%d):\n", name, *k, d.Cfg.MaxPure, d.Cfg.MaxImpure)
 		fmt.Printf("  FEComm (comm volume)   %d\n", s.FEComm)
 		fmt.Printf("  EdgeCut                %d\n", s.EdgeCut)
 		fmt.Printf("  LoadImbalance          FE %.4f, contact %.4f\n", s.Imbalance[0], s.Imbalance[1])

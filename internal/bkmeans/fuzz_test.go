@@ -1,0 +1,77 @@
+package bkmeans
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// FuzzBKMeansAssign drives the capacity-constrained assignment step
+// with arbitrary point clouds, weights, and centroid counts decoded
+// from fuzzer bytes, under the documented feasibility precondition
+// (per-cluster cap = ceil(total/k) + max weight), and checks the two
+// contract properties:
+//
+//  1. every point is assigned a label in [0, k);
+//  2. no cluster's load ever exceeds its capacity.
+func FuzzBKMeansAssign(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{1, 0xff, 0xff, 0xff, 0x01, 0x02})
+	f.Add([]byte{8, 5, 5, 5, 5, 9, 9, 9, 9, 1, 1, 1, 1, 200, 200, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		k := 1 + int(data[0])%8
+		rest := data[1:]
+		// Three bytes per point: x, y, weight.
+		n := len(rest) / 3
+		if n == 0 {
+			return
+		}
+		if n > 512 {
+			n = 512
+		}
+		pts := make([]geom.Point, n)
+		w := make([]int64, n)
+		var total, maxw int64
+		for i := 0; i < n; i++ {
+			pts[i] = geom.P2(float64(rest[i*3]), float64(rest[i*3+1]))
+			w[i] = 1 + int64(rest[i*3+2]%32)
+			total += w[i]
+			if w[i] > maxw {
+				maxw = w[i]
+			}
+		}
+		// Centroids are drawn from the points themselves (wrapping), so
+		// ties and coincident centroids are exercised.
+		cents := make([]geom.Point, k)
+		for p := range cents {
+			cents[p] = pts[p%n]
+		}
+		caps := make([]int64, k)
+		for p := range caps {
+			caps[p] = (total+int64(k)-1)/int64(k) + maxw
+		}
+
+		labels, err := Assign(pts, w, cents, caps)
+		if err != nil {
+			t.Fatalf("feasible instance rejected (n=%d k=%d total=%d maxw=%d): %v", n, k, total, maxw, err)
+		}
+		if len(labels) != n {
+			t.Fatalf("%d labels for %d points", len(labels), n)
+		}
+		load := make([]int64, k)
+		for i, l := range labels {
+			if l < 0 || int(l) >= k {
+				t.Fatalf("point %d: label %d out of [0,%d)", i, l, k)
+			}
+			load[l] += w[i]
+		}
+		for p := 0; p < k; p++ {
+			if load[p] > caps[p] {
+				t.Fatalf("cluster %d: load %d exceeds cap %d", p, load[p], caps[p])
+			}
+		}
+	})
+}

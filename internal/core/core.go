@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/backend"
 	"repro/internal/contact"
 	"repro/internal/dtree"
 	"repro/internal/geom"
@@ -31,7 +32,6 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/partition"
-	"repro/internal/rcb"
 )
 
 // Config parameterizes Decompose.
@@ -54,14 +54,16 @@ type Config struct {
 	// refinement), leaving the raw multi-constraint partition — the
 	// ablation showing why decision-tree-friendly boundaries matter.
 	SkipReshape bool
-	// Geometric replaces the multilevel graph partitioning (step 2)
-	// with a multi-constraint recursive coordinate bisection of the
-	// node coordinates — the "geometry-aware multi-constraint
-	// partitioning" direction of the paper's conclusions. Subdomains
-	// are boxes by construction (reshaping is skipped), so descriptor
-	// trees are minimal; the edge cut and communication volume are
-	// worse than the multilevel partitioner's.
-	Geometric bool
+	// Backend selects the partitioning algorithm for step 2 (see
+	// internal/backend): "" or "multilevel" is the paper's multilevel
+	// multi-constraint partitioner; "rcb", "sfc", and "bkmeans" are the
+	// geometric alternatives from the paper's conclusions. Geometric
+	// backends produce box-like subdomains by construction, so the
+	// reshape steps 3-4 are skipped for them (gated on the backend's
+	// Reshape capability, not its name); their edge cut and
+	// communication volume are worse than the multilevel partitioner's
+	// (see BENCH_backends.json for the measured crossover).
+	Backend string
 	// Parallel enables concurrent tree induction.
 	Parallel bool
 	// WideGaps selects margin-aware hyperplanes in the descriptor tree
@@ -110,6 +112,21 @@ func autoThreshold(n, k int, exp float64) int {
 	return int(float64(n) / math.Pow(float64(k), exp))
 }
 
+// requireWarmstart resolves the configured backend and rejects it when
+// it lacks the Warmstart capability: the warm-started update paths
+// repair inherited labels with the diffusion repartitioner, which only
+// the multilevel backend implements.
+func requireWarmstart(name, op string) error {
+	be, err := backend.Lookup(name)
+	if err != nil {
+		return err
+	}
+	if !be.Caps().Warmstart {
+		return fmt.Errorf("core: %s requires a warm-start-capable backend, %q is not (Caps().Warmstart=false)", op, be.Name())
+	}
+	return nil
+}
+
 // Decomposition is the output of the MCML+DT pipeline.
 type Decomposition struct {
 	Cfg   Config
@@ -137,16 +154,17 @@ func Decompose(m *mesh.Mesh, cfg Config) (*Decomposition, error) {
 	cfg = cfg.withDefaults(m.NumNodes())
 	g := m.NodalGraph(cfg.Nodal)
 
+	be, err := backend.Lookup(cfg.Backend)
+	if err != nil {
+		return nil, err
+	}
 	popt := partition.Options{K: cfg.K, Seed: cfg.Seed, Imbalance: cfg.Imbalance, Obs: cfg.Obs, Span: cfg.Span}
 	stopPart := cfg.Obs.Start("partition")
-	partSpan := cfg.Span.Child("partition", obs.Int("k", int64(cfg.K)), obs.Int("nv", int64(g.NV())))
-	var raw []int32
-	var err error
-	if cfg.Geometric {
-		_, raw, err = rcb.BuildMC(m.Coords, g.VWgt, g.NCon, m.Dim, cfg.K)
-	} else {
-		raw, err = partition.Partition(g, popt)
-	}
+	partSpan := cfg.Span.Child("partition",
+		obs.Int("k", int64(cfg.K)), obs.Int("nv", int64(g.NV())), obs.Str("backend", be.Name()))
+	raw, err := be.Partition(
+		backend.Input{Graph: g, Coords: m.Coords, Dim: m.Dim},
+		backend.Options{K: cfg.K, Seed: cfg.Seed, Imbalance: cfg.Imbalance, Obs: cfg.Obs, Span: cfg.Span})
 	partSpan.End()
 	stopPart()
 	if err != nil {
@@ -160,7 +178,7 @@ func Decompose(m *mesh.Mesh, cfg Config) (*Decomposition, error) {
 		Labels:    append([]int32(nil), raw...),
 	}
 
-	if !cfg.SkipReshape && !cfg.Geometric && cfg.K > 1 {
+	if !cfg.SkipReshape && be.Caps().Reshape && cfg.K > 1 {
 		if err := d.reshape(m, popt); err != nil {
 			return nil, err
 		}
@@ -187,6 +205,9 @@ func Redecompose(m *mesh.Mesh, prevLabels []int32, cfg Config) (*Decomposition, 
 	}
 	if len(prevLabels) != m.NumNodes() {
 		return nil, 0, fmt.Errorf("core: %d previous labels for %d nodes", len(prevLabels), m.NumNodes())
+	}
+	if err := requireWarmstart(cfg.Backend, "Redecompose"); err != nil {
+		return nil, 0, err
 	}
 	cfg = cfg.withDefaults(m.NumNodes())
 	g := m.NodalGraph(cfg.Nodal)
@@ -253,8 +274,8 @@ func AdaptiveDecompose(m *mesh.Mesh, prevLabels []int32, baseCut int64, cfg Conf
 	if cfg.K < 1 {
 		return nil, out, fmt.Errorf("core: K = %d", cfg.K)
 	}
-	if cfg.Geometric {
-		return nil, out, fmt.Errorf("core: AdaptiveDecompose does not support the Geometric pipeline")
+	if err := requireWarmstart(cfg.Backend, "AdaptiveDecompose"); err != nil {
+		return nil, out, err
 	}
 	if len(prevLabels) != m.NumNodes() {
 		return nil, out, fmt.Errorf("core: %d previous labels for %d nodes", len(prevLabels), m.NumNodes())

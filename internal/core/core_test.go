@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/geom"
 	"repro/internal/mesh"
 	"repro/internal/meshgen"
@@ -264,31 +265,50 @@ func TestDecompose2DMesh(t *testing.T) {
 
 func TestDecomposeGeometric(t *testing.T) {
 	m := testMesh(t)
-	d, err := Decompose(m, Config{K: 8, Seed: 1, Geometric: true})
-	if err != nil {
-		t.Fatal(err)
-	}
 	graphD, err := Decompose(m, Config{K: 8, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sg, sm := d.Stats(), graphD.Stats()
-	// Geometric subdomains are boxes: descriptor trees stay in the same
-	// small regime as the reshaped multilevel pipeline's (on larger
-	// meshes they are typically smaller).
-	if sg.NTNodes > sm.NTNodes*3/2 {
-		t.Errorf("geometric NTNodes %d much larger than multilevel %d", sg.NTNodes, sm.NTNodes)
+	sm := graphD.Stats()
+
+	// Every geometric backend runs the same pipeline with its own
+	// quality regime: rcb keeps box subdomains and both constraints
+	// balanced; sfc balances both constraints best-effort along the
+	// curve; bkmeans balances only the FE constraint.
+	cases := []struct {
+		backend  string
+		ntFactor int64   // NTNodes bound, as a multiple of multilevel's (x10)
+		imbFE    float64 // constraint-0 imbalance bound
+		imbCt    float64 // constraint-1 bound (0 = unbalanced by design)
+	}{
+		{"rcb", 15, 1.5, 1.6},
+		{"sfc", 40, 1.5, 0},
+		{"bkmeans", 40, 1.4, 0},
 	}
-	// The multilevel pipeline should win on communication volume.
-	if sg.FEComm < sm.FEComm {
-		t.Logf("note: geometric FEComm %d < multilevel %d on this mesh", sg.FEComm, sm.FEComm)
+	for _, tc := range cases {
+		t.Run(tc.backend, func(t *testing.T) {
+			d, err := Decompose(m, Config{K: 8, Seed: 1, Backend: tc.backend})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sg := d.Stats()
+			if sg.NTNodes > int(int64(sm.NTNodes)*tc.ntFactor/10) {
+				t.Errorf("%s NTNodes %d much larger than multilevel %d", tc.backend, sg.NTNodes, sm.NTNodes)
+			}
+			// The multilevel pipeline should win on communication volume.
+			if sg.FEComm < sm.FEComm {
+				t.Logf("note: %s FEComm %d < multilevel %d on this mesh", tc.backend, sg.FEComm, sm.FEComm)
+			}
+			if sg.Imbalance[0] > tc.imbFE {
+				t.Errorf("%s FE imbalance %v", tc.backend, sg.Imbalance)
+			}
+			if tc.imbCt > 0 && sg.Imbalance[1] > tc.imbCt {
+				t.Errorf("%s contact imbalance %v", tc.backend, sg.Imbalance)
+			}
+			t.Logf("%s: vol=%d NT=%d imb=%v; multilevel: vol=%d NT=%d imb=%v",
+				tc.backend, sg.FEComm, sg.NTNodes, sg.Imbalance, sm.FEComm, sm.NTNodes, sm.Imbalance)
+		})
 	}
-	// Balance stays plausible on both constraints.
-	if sg.Imbalance[0] > 1.5 || sg.Imbalance[1] > 1.6 {
-		t.Errorf("geometric imbalance %v", sg.Imbalance)
-	}
-	t.Logf("geometric: vol=%d NT=%d imb=%v; multilevel: vol=%d NT=%d imb=%v",
-		sg.FEComm, sg.NTNodes, sg.Imbalance, sm.FEComm, sm.NTNodes, sm.Imbalance)
 }
 
 func TestRedecomposeMigratesBounded(t *testing.T) {
@@ -496,7 +516,39 @@ func TestAdaptiveDecomposeValidates(t *testing.T) {
 	if _, _, err := AdaptiveDecompose(m, make([]int32, m.NumNodes()), 0, Config{K: 0}); err == nil {
 		t.Error("accepted K=0")
 	}
-	if _, _, err := AdaptiveDecompose(m, make([]int32, m.NumNodes()), 0, Config{K: 4, Geometric: true}); err == nil {
-		t.Error("accepted Geometric mode")
+	if _, _, err := AdaptiveDecompose(m, make([]int32, m.NumNodes()), 0, Config{K: 4, Backend: "quadtree"}); err == nil {
+		t.Error("accepted unknown backend")
+	}
+}
+
+// TestWarmstartCapabilityGate pins the capability-flag regression: the
+// warm-started update paths accept exactly the backends that declare
+// Warmstart, and reject the geometric ones with an error naming the
+// capability rather than a hard-coded backend check.
+func TestWarmstartCapabilityGate(t *testing.T) {
+	m := testMesh(t)
+	prev := make([]int32, m.NumNodes())
+	for _, name := range backend.Names() {
+		be, err := backend.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, adErr := AdaptiveDecompose(m, prev, 0, Config{K: 4, Seed: 1, Backend: name})
+		_, _, rdErr := Redecompose(m, prev, Config{K: 4, Seed: 1, Backend: name})
+		if be.Caps().Warmstart {
+			if adErr != nil {
+				t.Errorf("%s: AdaptiveDecompose rejected warm-start-capable backend: %v", name, adErr)
+			}
+			if rdErr != nil {
+				t.Errorf("%s: Redecompose rejected warm-start-capable backend: %v", name, rdErr)
+			}
+			continue
+		}
+		if adErr == nil {
+			t.Errorf("%s: AdaptiveDecompose accepted a backend without Warmstart", name)
+		}
+		if rdErr == nil {
+			t.Errorf("%s: Redecompose accepted a backend without Warmstart", name)
+		}
 	}
 }

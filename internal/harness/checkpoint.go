@@ -99,10 +99,20 @@ func configHash(snaps []sim.Snapshot, cfgs []Config) string {
 	}
 	for _, c := range cfgs {
 		c = c.withDefaults()
+		// geo preserves the historical hash field from when the backend
+		// selector was a single Geometric bool: "" / "multilevel" hash as
+		// geo=false and "rcb" as geo=true, so every checkpoint written
+		// before the selector existed still matches its workload.
+		geo := c.Backend == "rcb"
 		fmt.Fprintf(h, "|k=%d seed=%d imb=%g tol=%g cw=%d mp=%d mi=%d sr=%t lf=%t geo=%t wg=%t re=%d inc=%t",
 			c.K, c.Seed, c.Imbalance, c.SearchTol, c.ContactEdgeWeight,
 			c.MaxPure, c.MaxImpure, c.SkipReshape, c.LooseTreeFilter,
-			c.Geometric, c.WideGaps, c.RepartitionEvery, c.Incremental)
+			geo, c.WideGaps, c.RepartitionEvery, c.Incremental)
+		if !geo && c.Backend != "" && c.Backend != "multilevel" {
+			// New backends append their name; configs expressible before
+			// the selector keep byte-identical hash input.
+			fmt.Fprintf(h, " be=%s", c.Backend)
+		}
 		if c.Adaptive {
 			// Appended only for adaptive configs so every pre-existing
 			// checkpoint (necessarily non-adaptive) keeps its hash.

@@ -54,9 +54,11 @@ type Config struct {
 	// LooseTreeFilter ablates the tight per-leaf point boxes in the
 	// MCML+DT global search (uses raw leaf rectangles instead).
 	LooseTreeFilter bool
-	// Geometric runs the geometry-aware variant: multi-constraint RCB
-	// instead of multilevel graph partitioning (future-work pipeline).
-	Geometric bool
+	// Backend selects the MCML+DT side's partitioning backend (see
+	// internal/backend): "" or "multilevel" is the paper's pipeline;
+	// "rcb", "sfc", and "bkmeans" swap in a geometric partitioner
+	// (reshaping is then skipped, per the backend's capabilities).
+	Backend string
 	// WideGaps selects margin-aware descriptor-tree hyperplanes
 	// (future-work tree induction).
 	WideGaps bool
@@ -206,7 +208,7 @@ func run(ctx context.Context, snaps []sim.Snapshot, cfg Config, ck *Checkpointer
 		MaxPure:     cfg.MaxPure,
 		MaxImpure:   cfg.MaxImpure,
 		SkipReshape: cfg.SkipReshape,
-		Geometric:   cfg.Geometric,
+		Backend:     cfg.Backend,
 		WideGaps:    cfg.WideGaps,
 		Parallel:    true,
 		Obs:         cfg.Obs,

@@ -181,12 +181,14 @@ func TestIncrementalRepartitionPath(t *testing.T) {
 
 func TestGeometricPipelinePath(t *testing.T) {
 	snaps := testSnaps(t, 2)
-	r, err := Run(snaps, Config{K: 4, Seed: 9, Geometric: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if r.Avg.MCNTNodes <= 0 {
-		t.Error("geometric run produced no tree")
+	for _, be := range []string{"rcb", "sfc", "bkmeans"} {
+		r, err := Run(snaps, Config{K: 4, Seed: 9, Backend: be})
+		if err != nil {
+			t.Fatalf("%s: %v", be, err)
+		}
+		if r.Avg.MCNTNodes <= 0 {
+			t.Errorf("%s run produced no tree", be)
+		}
 	}
 }
 

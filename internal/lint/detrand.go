@@ -34,6 +34,8 @@ var detRandCritical = map[string]bool{
 	"meshgen":   true,
 	"sim":       true,
 	"graph":     true,
+	"sfc":       true,
+	"bkmeans":   true,
 }
 
 // detRandGlobals are the math/rand (v1 and v2) top-level functions

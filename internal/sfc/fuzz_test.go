@@ -1,0 +1,54 @@
+package sfc
+
+import "testing"
+
+// FuzzHilbertKey drives the curve encoding through arbitrary
+// (dims, bits, coordinate) tuples decoded from fuzzer bytes and checks
+// the two properties everything else in the package rests on:
+//
+//  1. round trip: Decode(Encode(x)) == x and Encode(Decode(h)) == h
+//     (the mapping is a bijection on the grid);
+//  2. locality monotonicity: consecutive curve indices decode to grid
+//     cells at Manhattan distance exactly 1 (curve continuity), so
+//     sorting by key orders points along one unbroken walk of the grid.
+func FuzzHilbertKey(f *testing.F) {
+	f.Add([]byte{2, 4, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{3, 7, 0xff, 0x01, 0x80, 0x7f, 0xaa, 0x55, 0x10, 0x20})
+	f.Add([]byte{3, 21, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		dims := 2 + int(data[0])%2
+		bits := 1 + int(data[1])%MaxBits(dims)
+		rest := data[2:]
+		var axes [3]uint32
+		for i := 0; i < dims; i++ {
+			var v uint32
+			for b := 0; b < 4 && i*4+b < len(rest); b++ {
+				v = v<<8 | uint32(rest[i*4+b])
+			}
+			axes[i] = v & (1<<uint(bits) - 1)
+		}
+
+		h := Encode(axes, dims, bits)
+		if max := uint64(1) << uint(dims*bits); h >= max {
+			t.Fatalf("dims=%d bits=%d: Encode(%v) = %d >= %d", dims, bits, axes, h, max)
+		}
+		back := Decode(h, dims, bits)
+		if back != axes {
+			t.Fatalf("dims=%d bits=%d: Decode(Encode(%v)) = %v", dims, bits, axes, back)
+		}
+		if h2 := Encode(back, dims, bits); h2 != h {
+			t.Fatalf("dims=%d bits=%d: Encode(Decode(%d)) = %d", dims, bits, h, h2)
+		}
+
+		if h+1 < uint64(1)<<uint(dims*bits) {
+			next := Decode(h+1, dims, bits)
+			if manhattan(back, next) != 1 {
+				t.Fatalf("dims=%d bits=%d: curve jumps from %v (key %d) to %v (key %d)",
+					dims, bits, back, h, next, h+1)
+			}
+		}
+	})
+}

@@ -1,5 +1,6 @@
 // Command mkcorpus regenerates the checked-in fuzz seed corpora under
-// internal/partition/testdata/fuzz and internal/dtree/testdata/fuzz.
+// internal/partition/testdata/fuzz, internal/dtree/testdata/fuzz,
+// internal/sfc/testdata/fuzz, and internal/bkmeans/testdata/fuzz.
 // Run from the repo root: go run ./tools/mkcorpus
 package main
 
@@ -52,4 +53,18 @@ func main() {
 	write(treeDir, "seed-valid", buf.Bytes())
 	write(treeDir, "seed-truncated", buf.Bytes()[:buf.Len()/2])
 	write(treeDir, "seed-magic-only", []byte("ERTD"))
+
+	// Mirrors sfc.FuzzHilbertKey's f.Add seeds: (dims, bits) selectors
+	// followed by big-endian coordinate bytes.
+	sfcDir := filepath.Join("internal", "sfc", "testdata", "fuzz", "FuzzHilbertKey")
+	write(sfcDir, "seed-2d", []byte{2, 4, 1, 2, 3, 4, 5, 6, 7, 8})
+	write(sfcDir, "seed-3d", []byte{3, 7, 0xff, 0x01, 0x80, 0x7f, 0xaa, 0x55, 0x10, 0x20})
+	write(sfcDir, "seed-deep", []byte{3, 21, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+
+	// Mirrors bkmeans.FuzzBKMeansAssign's f.Add seeds: a cluster-count
+	// byte followed by (x, y, weight) triples.
+	bkDir := filepath.Join("internal", "bkmeans", "testdata", "fuzz", "FuzzBKMeansAssign")
+	write(bkDir, "seed-small", []byte{3, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	write(bkDir, "seed-heavy", []byte{1, 0xff, 0xff, 0xff, 0x01, 0x02})
+	write(bkDir, "seed-coincident", []byte{8, 5, 5, 5, 5, 9, 9, 9, 9, 1, 1, 1, 1, 200, 200, 0, 0})
 }
