@@ -5,9 +5,9 @@
 # workers, and the parallel recursive-bisection partitioner), and a
 # short fuzz smoke per native fuzz target.
 
-.PHONY: check vet lint test race fuzz-smoke chaos bench trace
+.PHONY: check vet lint test race fuzz-smoke chaos serve bench trace
 
-check: vet lint race chaos fuzz-smoke trace
+check: vet lint race chaos serve fuzz-smoke trace
 
 vet:
 	go vet ./...
@@ -42,6 +42,15 @@ chaos:
 		./internal/engine ./internal/transport ./internal/fault \
 		./internal/harness ./internal/pool
 
+# Serving gate under the race detector: the partsrv job engine and
+# HTTP surface — bounded-queue rejection (429 + Retry-After), panic
+# isolation, deadline enforcement, the chaos-under-load fleet, and the
+# goroutine-leak check after graceful drain. -short skips the
+# multi-second drain/restart/resubmit byte-identity sweep, which the
+# full `race` target (whole tree, no -short) still runs.
+serve:
+	go test -race -count=1 -short -run 'TestServer|TestHTTP' ./internal/server
+
 # End-to-end trace gate: a short traced sweep with the engine leg and
 # first-attempt-only fault injection, validated by tracecheck — the
 # trace must be well-formed (balanced B/E, monotonic per-lane
@@ -58,10 +67,13 @@ trace:
 # Microbenchmarks plus the serial-vs-parallel KWay comparison and the
 # amortized adaptive-vs-scratch snapshot sweep; the latter two rewrite
 # BENCH_partition.json (checked in for provenance — numbers depend on
-# GOMAXPROCS, recorded in the file). The last line rewrites
+# GOMAXPROCS, recorded in the file). The contactbench line rewrites
 # BENCH_backends.json, the 4-way partitioner-backend crossover table
-# (MCML+DT vs ML+RCB vs SFC vs BKMeans) on the paper-scale scene.
+# (MCML+DT vs ML+RCB vs SFC vs BKMeans) on the paper-scale scene; the
+# partsrv line rewrites BENCH_serve.json, the serving throughput and
+# latency numbers from the daemon's self-benchmark.
 bench:
 	go test -bench=. -benchmem ./internal/partition
 	go run ./cmd/partition -bench-json BENCH_partition.json -k 16 -bench-snapshots 8
 	go run ./cmd/contactbench -k 16 -snapshots 4 -backends-json BENCH_backends.json
+	go run ./cmd/partsrv -bench -bench-json BENCH_serve.json

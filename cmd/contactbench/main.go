@@ -252,11 +252,12 @@ func run() int {
 
 	prog := harness.NewProgress(len(snaps), cfgs)
 	if *httpAddr != "" {
-		addr, err := startServer(*httpAddr, col, prog)
+		addr, stopServer, err := startServer(*httpAddr, col, prog)
 		if err != nil {
 			log.Print(err)
 			return 1
 		}
+		defer stopServer()
 		fmt.Printf("serving /metrics, /progress, /debug/pprof on http://%s\n", addr)
 	}
 

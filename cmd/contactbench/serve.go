@@ -10,15 +10,18 @@ package main
 //	/debug/pprof/*    the standard net/http/pprof handlers
 //
 // The server binds before the sweep starts (so the printed URL is
-// usable immediately) and lives until the process exits.
+// usable immediately) and is shut down gracefully when the run
+// finishes.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
 	"runtime/metrics"
+	"time"
 
 	"repro/internal/harness"
 	"repro/internal/obs"
@@ -52,9 +55,15 @@ func runtimeSamples() map[string]any {
 }
 
 // startServer binds addr and serves the observability endpoints in a
-// background goroutine. Returns the resolved listen address
-// (":0" picks a free port).
-func startServer(addr string, col *obs.Collector, prog *harness.Progress) (string, error) {
+// background goroutine. Returns the resolved listen address (":0"
+// picks a free port) and a shutdown function that stops accepting
+// connections and waits briefly for in-flight responses to finish.
+//
+// The server carries read-header/read/idle timeouts so a slow or
+// stalled client (slowloris) cannot pin connections open for the life
+// of the sweep. WriteTimeout stays 0 on purpose: pprof profile
+// endpoints stream for a caller-chosen duration.
+func startServer(addr string, col *obs.Collector, prog *harness.Progress) (string, func(), error) {
 	mux := http.DefaultServeMux // net/http/pprof registered itself here
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -71,8 +80,23 @@ func startServer(addr string, col *obs.Collector, prog *harness.Progress) (strin
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("contactbench: -http %s: %w", addr, err)
+		return "", nil, fmt.Errorf("contactbench: -http %s: %w", addr, err)
 	}
-	go func() { _ = http.Serve(ln, mux) }()
-	return ln.Addr().String(), nil
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go func() { _ = srv.Serve(ln) }() // Serve always returns ErrServerClosed on Shutdown
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			// Past the grace period: close whatever is left rather
+			// than hang process exit on a stuck client.
+			_ = srv.Close()
+		}
+	}
+	return ln.Addr().String(), shutdown, nil
 }

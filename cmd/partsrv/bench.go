@@ -1,0 +1,200 @@
+package main
+
+// The serving benchmark (-bench): an in-process partsrv driven over
+// real HTTP by concurrent clients. It measures what the daemon
+// promises — sustained job throughput and client-observed latency
+// under backpressure — and writes BENCH_serve.json.
+//
+// The workload is submit-heavy: every client submits small multilevel
+// graph jobs (distinct seeds, so no result-cache shortcuts), retries
+// 429s after the advertised backoff, and blocks on ?wait=1 until its
+// job is terminal. Latency is measured from first submit attempt to
+// terminal status, so queue wait and shed/retry cycles count against
+// the service, as they do for a real client.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// benchGridSpec builds the benchmark's unit-weight nx x ny grid graph
+// in wire form.
+func benchGridSpec(nx, ny int) *server.GraphSpec {
+	nv := nx * ny
+	xadj := make([]int32, 1, nv+1)
+	var adj []int32
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			for _, d := range [][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+				ux, uy := x+d[0], y+d[1]
+				if ux >= 0 && ux < nx && uy >= 0 && uy < ny {
+					adj = append(adj, int32(uy*nx+ux))
+				}
+			}
+			xadj = append(xadj, int32(len(adj)))
+		}
+	}
+	return &server.GraphSpec{NCon: 1, Xadj: xadj, Adj: adj}
+}
+
+// benchResult is the BENCH_serve.json schema.
+type benchResult struct {
+	Jobs       int     `json:"jobs"`
+	Clients    int     `json:"clients"`
+	Workers    int     `json:"workers"`
+	QueueDepth int     `json:"queue_depth"`
+	WallS      float64 `json:"wall_s"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	// Client-observed latency (submit attempt -> terminal), ns.
+	LatencyP50NS int64 `json:"latency_p50_ns"`
+	LatencyP90NS int64 `json:"latency_p90_ns"`
+	LatencyP99NS int64 `json:"latency_p99_ns"`
+	// Server-side job wall clock from the obs histogram layer
+	// (the "serve_job_wall" phase: queue wait + execution), ns.
+	ServeWallP50NS int64 `json:"serve_wall_p50_ns"`
+	ServeWallP90NS int64 `json:"serve_wall_p90_ns"`
+	ServeWallP99NS int64 `json:"serve_wall_p99_ns"`
+	// Retries is the number of 429-shed submit attempts that were
+	// retried; the accounting ledger is the server's own view.
+	Retries    int64             `json:"retries_429"`
+	Accounting server.Accounting `json:"accounting"`
+}
+
+func runBench(opt server.Options, jobs int, outPath string) error {
+	srv := server.New(opt)
+	httpSrv := server.NewHTTPServer("", srv.Handler())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go func() { _ = httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	const clients = 8
+	grid := benchGridSpec(48, 48)
+	latencies := make([]int64, jobs)
+	var retries int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < jobs; i += clients {
+				spec := server.JobSpec{
+					Kind: server.KindGraph, Graph: grid,
+					K: 8, Seed: int64(i), // distinct seeds: no cache hits
+				}
+				lat, nretry, err := submitAndWait(client, base, spec)
+				mu.Lock()
+				latencies[i] = int64(lat)
+				retries += nretry
+				mu.Unlock()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "bench job %d: %v\n", i, err)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	_ = httpSrv.Close()
+	if err := drainQuiesced(srv); err != nil {
+		return err
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) int64 { return latencies[int(p*float64(len(latencies)-1))] }
+	res := benchResult{
+		Jobs: jobs, Clients: clients,
+		Workers: opt.Workers, QueueDepth: opt.QueueDepth,
+		WallS:        wall.Seconds(),
+		JobsPerSec:   float64(jobs) / wall.Seconds(),
+		LatencyP50NS: pct(0.50), LatencyP90NS: pct(0.90), LatencyP99NS: pct(0.99),
+		Retries:    retries,
+		Accounting: srv.Accounting(),
+	}
+	for _, h := range opt.Obs.Report().Hists {
+		if h.Name == "serve_job_wall" {
+			res.ServeWallP50NS, res.ServeWallP90NS, res.ServeWallP99NS = h.P50, h.P90, h.P99
+		}
+	}
+	data, err := json.MarshalIndent(res, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench: %d jobs on %d clients in %.2fs (%.1f jobs/s, p50 %s p99 %s, %d retries) -> %s\n",
+		res.Jobs, res.Clients, res.WallS, res.JobsPerSec,
+		time.Duration(res.LatencyP50NS), time.Duration(res.LatencyP99NS), res.Retries, outPath)
+	return nil
+}
+
+// submitAndWait pushes one job through the API, retrying 429 sheds
+// after the advertised Retry-After (capped small: the benchmark wants
+// to observe recovery, not sleep through it). Returns the
+// first-attempt-to-terminal latency and the retry count.
+func submitAndWait(client *http.Client, base string, spec server.JobSpec) (time.Duration, int64, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return 0, 0, err
+	}
+	t0 := time.Now()
+	var retries int64
+	var view server.JobView
+	for {
+		resp, err := client.Post(base+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return time.Since(t0), retries, err
+		}
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		_ = resp.Body.Close() // decode already consumed the payload
+		if resp.StatusCode == http.StatusTooManyRequests {
+			retries++
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return time.Since(t0), retries, fmt.Errorf("submit: HTTP %d (%s)", resp.StatusCode, view.Error)
+		}
+		if err != nil {
+			return time.Since(t0), retries, err
+		}
+		break
+	}
+	resp, err := client.Get(base + "/api/v1/jobs/" + view.ID + "?wait=1")
+	if err != nil {
+		return time.Since(t0), retries, err
+	}
+	err = json.NewDecoder(resp.Body).Decode(&view)
+	_ = resp.Body.Close() // decode already consumed the payload
+	if err != nil {
+		return time.Since(t0), retries, err
+	}
+	if view.Status != server.StatusDone {
+		return time.Since(t0), retries, fmt.Errorf("job %s finished %s: %s", view.ID, view.Status, view.Error)
+	}
+	return time.Since(t0), retries, nil
+}
+
+// drainQuiesced drains a server the benchmark believes is idle; a
+// hang here means leaked jobs, which the benchmark should surface.
+func drainQuiesced(srv *server.Server) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return srv.Drain(ctx)
+}

@@ -1,0 +1,131 @@
+// Command partsrv is the partitioning-as-a-service daemon: it serves
+// the internal/server job API over HTTP and stays up until told to
+// stop.
+//
+//	partsrv -addr :8080 -workers 4 -queue 64 -spool /var/spool/partsrv
+//
+// Operational contract:
+//
+//   - backpressure: the job queue is bounded; past capacity, submits
+//     get 429 + Retry-After instead of unbounded buffering;
+//   - deadlines: every job runs under a wall-clock budget
+//     (-timeout default, -max-timeout ceiling) whose expiry actually
+//     stops the partitioning recursion;
+//   - isolation: a panicking job fails that job, not the daemon;
+//   - drain: SIGTERM/SIGINT stops intake, marks still-queued jobs
+//     drained_queued, checkpoints in-flight sweeps to the spool at a
+//     snapshot boundary, then shuts the HTTP listener down
+//     gracefully. A restarted daemon resumes a resubmitted sweep from
+//     the spool to byte-identical results.
+//
+// -bench runs the self-contained serving benchmark instead (an
+// in-process server driven by concurrent HTTP clients) and writes the
+// result JSON to -bench-json.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		workers    = flag.Int("workers", 2, "concurrent job executors")
+		jobWorkers = flag.Int("job-workers", 0, "worker pool inside one job (0 = 1; results never depend on it)")
+		queue      = flag.Int("queue", 16, "job queue depth; submits past it get 429")
+		timeout    = flag.Duration("timeout", time.Minute, "default per-job wall-clock budget")
+		maxTimeout = flag.Duration("max-timeout", 5*time.Minute, "ceiling on client-requested job timeouts")
+		cache      = flag.Int("cache", 64, "result cache entries (LRU by spec hash)")
+		spool      = flag.String("spool", "", "sweep checkpoint directory (empty = no checkpointing)")
+		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long a drain waits for in-flight jobs to checkpoint and stop")
+		bench      = flag.Bool("bench", false, "run the serving benchmark instead of the daemon")
+		benchJSON  = flag.String("bench-json", "BENCH_serve.json", "benchmark output path (with -bench)")
+		benchJobs  = flag.Int("bench-jobs", 300, "jobs submitted by the benchmark (with -bench)")
+	)
+	flag.Parse()
+
+	if *spool != "" {
+		if err := os.MkdirAll(*spool, 0o755); err != nil {
+			log.Print(err)
+			return 1
+		}
+	}
+	col := obs.New()
+	opt := server.Options{
+		Workers:        *workers,
+		JobWorkers:     *jobWorkers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		CacheEntries:   *cache,
+		SpoolDir:       *spool,
+		Obs:            col,
+	}
+
+	if *bench {
+		if err := runBench(opt, *benchJobs, *benchJSON); err != nil {
+			log.Print(err)
+			return 1
+		}
+		return 0
+	}
+
+	srv := server.New(opt)
+	httpSrv := server.NewHTTPServer(*addr, srv.Handler())
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	fmt.Printf("partsrv serving on http://%s (workers=%d queue=%d spool=%q)\n",
+		ln.Addr(), *workers, *queue, *spool)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case got := <-sig:
+		fmt.Printf("partsrv: %s: draining (grace %s)\n", got, *drainGrace)
+	case err := <-serveErr:
+		log.Printf("partsrv: listener failed: %v", err)
+		return 1
+	}
+
+	// Drain order matters: stop the job engine first so in-flight
+	// sweeps checkpoint and queued jobs get their terminal status,
+	// then close the HTTP side so clients can read those statuses
+	// until the end of the grace period.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	code := 0
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("partsrv: %v", err)
+		code = 1
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("partsrv: http shutdown: %v", err)
+		_ = httpSrv.Close() // grace expired; refuse to hang exit
+		code = 1
+	}
+	a := srv.Accounting()
+	fmt.Printf("partsrv: drained. accepted=%d completed=%d failed=%d canceled=%d drained=%d drained_queued=%d rejected_full=%d\n",
+		a.Accepted, a.Completed, a.Failed, a.Canceled, a.Drained, a.DrainedQueued, a.RejectedFull)
+	return code
+}

@@ -19,6 +19,7 @@
 package backend
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -52,6 +53,21 @@ type Options struct {
 	Workers int
 	Obs     *obs.Collector
 	Span    *obs.Span
+	// Ctx, when non-nil, carries a per-call deadline/cancellation into
+	// the backend: the multilevel partitioner stops its recursion
+	// promptly and returns the context's error (partition.KWayCtx); the
+	// near-linear geometric backends check it once at entry. Labels of
+	// a run that completes never depend on Ctx. Nil means
+	// context.Background() (never cancelled).
+	Ctx context.Context
+}
+
+// ctx resolves the options' context, nil meaning Background.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // Caps describes what a backend supports. Callers branch on these
@@ -113,8 +129,12 @@ func Names() []string {
 }
 
 // checkInput validates the parts of Input every backend needs, plus
-// coordinates when the backend requires them.
-func checkInput(in Input, caps Caps, name string) error {
+// coordinates when the backend requires them, and refuses to start
+// work under an already-dead context.
+func checkInput(in Input, caps Caps, name string, opt Options) error {
+	if err := opt.ctx().Err(); err != nil {
+		return err
+	}
 	if in.Graph == nil {
 		return fmt.Errorf("backend/%s: nil graph", name)
 	}
@@ -136,10 +156,10 @@ func (multilevel) Caps() Caps {
 	return Caps{MultiConstraint: true, Reshape: true, Warmstart: true}
 }
 func (b multilevel) Partition(in Input, opt Options) ([]int32, error) {
-	if err := checkInput(in, b.Caps(), b.Name()); err != nil {
+	if err := checkInput(in, b.Caps(), b.Name(), opt); err != nil {
 		return nil, err
 	}
-	return partition.Partition(in.Graph, partition.Options{
+	return partition.KWayCtx(opt.ctx(), in.Graph, partition.Options{
 		K: opt.K, Seed: opt.Seed, Imbalance: opt.Imbalance,
 		Workers: opt.Workers, Obs: opt.Obs, Span: opt.Span,
 	})
@@ -152,7 +172,7 @@ func (rcbBackend) Caps() Caps {
 	return Caps{MultiConstraint: true, NeedsCoords: true}
 }
 func (b rcbBackend) Partition(in Input, opt Options) ([]int32, error) {
-	if err := checkInput(in, b.Caps(), b.Name()); err != nil {
+	if err := checkInput(in, b.Caps(), b.Name(), opt); err != nil {
 		return nil, err
 	}
 	_, labels, err := rcb.BuildMC(in.Coords, in.Graph.VWgt, in.Graph.NCon, in.Dim, opt.K)
@@ -168,7 +188,7 @@ func (sfcBackend) Caps() Caps {
 	return Caps{MultiConstraint: true, NeedsCoords: true}
 }
 func (b sfcBackend) Partition(in Input, opt Options) ([]int32, error) {
-	if err := checkInput(in, b.Caps(), b.Name()); err != nil {
+	if err := checkInput(in, b.Caps(), b.Name(), opt); err != nil {
 		return nil, err
 	}
 	return sfc.Partition(in.Coords, in.Graph.VWgt, in.Graph.NCon, in.Dim, opt.K, sfc.Options{
@@ -183,7 +203,7 @@ func (bkmeansBackend) Caps() Caps {
 	return Caps{NeedsCoords: true}
 }
 func (b bkmeansBackend) Partition(in Input, opt Options) ([]int32, error) {
-	if err := checkInput(in, b.Caps(), b.Name()); err != nil {
+	if err := checkInput(in, b.Caps(), b.Name(), opt); err != nil {
 		return nil, err
 	}
 	return bkmeans.Partition(in.Coords, in.Graph.VWgt, in.Graph.NCon, in.Dim, opt.K, bkmeans.Options{

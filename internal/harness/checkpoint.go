@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/obs"
@@ -220,10 +221,14 @@ func (c *Checkpointer) record(exp, cursor int, row Row, ev EvalTimes, imbFE, imb
 	return err
 }
 
-// flushLocked writes the checkpoint atomically: marshal, write to a
-// temp file in the same directory, fsync, rename over the target. A
-// crash mid-write leaves either the old complete file or the new
-// complete file, never a torn one.
+// flushLocked writes the checkpoint atomically and durably: marshal,
+// write to a temp file in the same directory, fsync, rename over the
+// target, then fsync the parent directory. A crash mid-write leaves
+// either the old complete file or the new complete file, never a torn
+// one — and the directory fsync makes the rename itself survive a
+// power cut, not just a process kill (without it the directory entry
+// may still point at the old file, or at nothing, after the machine
+// comes back).
 func (c *Checkpointer) flushLocked() error {
 	data, err := json.MarshalIndent(&c.file, "", " ")
 	if err != nil {
@@ -245,7 +250,26 @@ func (c *Checkpointer) flushLocked() error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, c.path)
+	if err := os.Rename(tmp, c.path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(c.path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry in it is durable.
+// Platforms whose directory handles reject Sync (it is not required to
+// work everywhere) report that error; callers treat checkpoint
+// durability as part of the write contract.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		_ = d.Close() // already failing; the sync error is the one to report
+		return err
+	}
+	return d.Close()
 }
 
 // Done reports the per-experiment snapshot cursors (how much of the

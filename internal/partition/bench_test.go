@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -11,7 +12,7 @@ func BenchmarkBisect(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rng := rand.New(rand.NewSource(int64(i)))
-		bisect(g, 0.5, 0.03, opt, rng, nil, 0)
+		bisect(context.Background(), g, 0.5, 0.03, opt, rng, nil, 0)
 	}
 }
 
@@ -119,7 +120,7 @@ func BenchmarkCoarsen(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rng := rand.New(rand.NewSource(int64(i)))
-		coarsen(g, 80, rng)
+		coarsen(context.Background(), g, 80, rng)
 	}
 }
 

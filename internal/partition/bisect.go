@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -241,15 +242,22 @@ func startPhase(col *obs.Collector, name string, depth int) func() {
 // bisect computes a multilevel 2-way partition of g with left-side
 // fraction fracLeft and per-constraint tolerance eps, returning the
 // side of every vertex and the edge cut. col and depth only feed the
-// phase timers; they never influence the partition.
-func bisect(g *graph.Graph, fracLeft, eps float64, opt Options, rng *rand.Rand, col *obs.Collector, depth int) ([]int8, int64) {
+// phase timers; they never influence the partition. ctx is checked at
+// every multilevel phase boundary (coarsening levels, initial-cut
+// trials, uncoarsening levels); a cancelled bisection returns ctx's
+// error with its phase timers stopped. The checks never alter the
+// result of a run that completes.
+func bisect(ctx context.Context, g *graph.Graph, fracLeft, eps float64, opt Options, rng *rand.Rand, col *obs.Collector, depth int) ([]int8, int64, error) {
 	if g.NV() == 0 {
-		return nil, 0
+		return nil, 0, nil
 	}
 	stopCoarsen := startPhase(col, "rb_coarsen", depth)
-	levels := coarsen(g, opt.CoarsenTo, rng)
+	levels := coarsen(ctx, g, opt.CoarsenTo, rng)
 	coarsest := levels[len(levels)-1].g
 	stopCoarsen()
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 
 	// Initial partition at the coarsest level: several GGG trials.
 	stopInit := startPhase(col, "rb_initcut", depth)
@@ -257,6 +265,10 @@ func bisect(g *graph.Graph, fracLeft, eps float64, opt Options, rng *rand.Rand, 
 	bestScore := trialScore(best)
 	trial := newBisection(coarsest, fracLeft, eps)
 	for t := 0; t < opt.InitTrials; t++ {
+		if err := ctx.Err(); err != nil {
+			stopInit()
+			return nil, 0, err
+		}
 		trial.reset()
 		growBisection(trial, rng)
 		refineFM(trial, opt.RefineIters, rng)
@@ -274,6 +286,10 @@ func bisect(g *graph.Graph, fracLeft, eps float64, opt Options, rng *rand.Rand, 
 	stopRefine := startPhase(col, "rb_refine", depth)
 	where := best.where
 	for li := len(levels) - 2; li >= 0; li-- {
+		if err := ctx.Err(); err != nil {
+			stopRefine()
+			return nil, 0, err
+		}
 		lv := levels[li]
 		fine := make([]int8, lv.g.NV())
 		for v := range fine {
@@ -302,7 +318,7 @@ func bisect(g *graph.Graph, fracLeft, eps float64, opt Options, rng *rand.Rand, 
 	fb := newBisection(g, fracLeft, eps)
 	fb.where = where
 	fb.computeCut()
-	return where, fb.cut
+	return where, fb.cut, nil
 }
 
 // trialScore ranks candidate bisections: feasibility first, then

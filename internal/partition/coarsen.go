@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/graph"
@@ -15,7 +16,9 @@ type level struct {
 // coarsen builds the multilevel hierarchy of g down to roughly
 // coarsenTo vertices using heavy-edge matching. The returned slice
 // starts with the original graph; the last entry is the coarsest.
-func coarsen(g *graph.Graph, coarsenTo int, rng *rand.Rand) []level {
+// Cancelling ctx stops the level loop early; the caller must check
+// ctx before using the (then incomplete) hierarchy.
+func coarsen(ctx context.Context, g *graph.Graph, coarsenTo int, rng *rand.Rand) []level {
 	levels := []level{{g: g}}
 	// Cap on a coarse vertex's weight per constraint, to keep the
 	// coarsest graph partitionable: a handful of average coarse
@@ -30,7 +33,7 @@ func coarsen(g *graph.Graph, coarsenTo int, rng *rand.Rand) []level {
 	}
 
 	cur := g
-	for cur.NV() > coarsenTo {
+	for cur.NV() > coarsenTo && ctx.Err() == nil {
 		match := heavyEdgeMatch(cur, maxW, rng)
 		// Count coarse vertices and relabel.
 		ncoarse := 0

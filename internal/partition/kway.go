@@ -38,6 +38,24 @@ func Partition(g *graph.Graph, opt Options) ([]int32, error) {
 // cancels its sibling subtree's queued tasks and is returned as an
 // error instead of crashing the process.
 func KWay(g *graph.Graph, opt Options) ([]int32, error) {
+	return KWayCtx(context.Background(), g, opt)
+}
+
+// KWayCtx is KWay under a context: cancelling ctx (or its deadline
+// expiring) stops the multilevel recursion promptly and returns the
+// context's error. The cancellation check runs at every bisection node
+// of the recursion tree, at every multilevel phase boundary inside a
+// bisection (coarsening levels, initial-cut trials, uncoarsening
+// levels), and before the final k-way polish, so the wall clock until
+// return is bounded by a single phase step, not by the remaining
+// recursion. The pool workers of an interrupted run drain and exit
+// before KWayCtx returns — no goroutines leak. A nil ctx is
+// context.Background(); a run that is never cancelled returns labels
+// bit-identical to KWay's for the same options.
+func KWayCtx(ctx context.Context, g *graph.Graph, opt Options) ([]int32, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
@@ -62,11 +80,11 @@ func KWay(g *graph.Graph, opt Options) ([]int32, error) {
 	if g.NV() < cutoff {
 		// The whole tree is below the cutoff: plain serial recursion,
 		// no workers spawned at all.
-		if err := rb(context.Background(), nil, g, ids, opt.K, 0, labels, epsBis, opt, opt.Seed, 0, cutoff); err != nil {
+		if err := rb(ctx, nil, g, ids, opt.K, 0, labels, epsBis, opt, opt.Seed, 0, cutoff); err != nil {
 			return nil, err
 		}
 	} else {
-		grp := pool.NewGroup(context.Background(), opt.Workers)
+		grp := pool.NewGroup(ctx, opt.Workers)
 		serr := grp.Submit(func(ctx context.Context) error {
 			return rb(ctx, grp, g, ids, opt.K, 0, labels, epsBis, opt, opt.Seed, 0, cutoff)
 		})
@@ -81,6 +99,9 @@ func KWay(g *graph.Graph, opt Options) ([]int32, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	RefineKWay(g, labels, opt)
@@ -138,14 +159,19 @@ func rb(ctx context.Context, grp *pool.Group, sub *graph.Graph, ids []int32, k, 
 			obs.Int("base", int64(base)), obs.Int("nv", int64(sub.NV())))
 	}
 	var where []int8
+	var bisErr error
 	if sub.NV() >= cutoff {
 		// Pool-task-sized subtree: label the goroutine so CPU profiles
 		// break bisection time out by recursion depth.
-		pprof.Do(ctx, pprof.Labels("rb_depth", strconv.Itoa(depth)), func(context.Context) {
-			where, _ = bisect(sub, fracL, eps, opt, rng, opt.Obs, depth)
+		pprof.Do(ctx, pprof.Labels("rb_depth", strconv.Itoa(depth)), func(ctx context.Context) {
+			where, _, bisErr = bisect(ctx, sub, fracL, eps, opt, rng, opt.Obs, depth)
 		})
 	} else {
-		where, _ = bisect(sub, fracL, eps, opt, rng, opt.Obs, depth)
+		where, _, bisErr = bisect(ctx, sub, fracL, eps, opt, rng, opt.Obs, depth)
+	}
+	if bisErr != nil {
+		span.End()
+		return bisErr
 	}
 
 	var leftIDs, rightIDs []int32

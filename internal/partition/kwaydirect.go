@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/graph"
@@ -29,7 +30,7 @@ func PartitionDirect(g *graph.Graph, opt Options) ([]int32, error) {
 	const coarsenPerPart = 30
 	target := maxInt(opt.CoarsenTo, coarsenPerPart*opt.K)
 	rng := rand.New(rand.NewSource(opt.Seed))
-	levels := coarsen(g, target, rng)
+	levels := coarsen(context.Background(), g, target, rng)
 
 	// Initial k-way partition of the coarsest graph by recursive
 	// bisection (cheap: the coarsest graph is small).

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -296,7 +297,7 @@ func TestLoadImbalancesKnown(t *testing.T) {
 func TestCoarsenPreservesTotals(t *testing.T) {
 	g := grid(25, 25, 2)
 	rng := rand.New(rand.NewSource(1))
-	levels := coarsen(g, 50, rng)
+	levels := coarsen(context.Background(), g, 50, rng)
 	if len(levels) < 2 {
 		t.Fatal("no coarsening happened")
 	}

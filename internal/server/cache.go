@@ -1,0 +1,78 @@
+package server
+
+// resultCache is a bounded LRU over finished job results, keyed by the
+// spec hash. It makes repeat submissions of an already-answered spec
+// O(1): Submit consults it before the queue, so a cache hit never
+// occupies a queue slot or a worker.
+
+import (
+	"container/list"
+	"sync"
+)
+
+type cacheEntry struct {
+	key    string
+	result []byte
+}
+
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, max),
+	}
+}
+
+// get returns the cached result bytes for key and marks it most
+// recently used.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).result, true
+}
+
+// put stores a result, evicting the least recently used entry past
+// capacity. Storing under an existing key refreshes its recency.
+func (c *resultCache) put(key string, result []byte) {
+	if c == nil || c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).result = result
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, result: result})
+	for c.order.Len() > c.max {
+		last := c.order.Back()
+		delete(c.entries, last.Value.(*cacheEntry).key)
+		c.order.Remove(last)
+	}
+}
+
+// len reports the number of cached results.
+func (c *resultCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,408 @@
+package server
+
+// The daemon's headline robustness proofs, run under -race by the
+// chaos gate:
+//
+//   - TestServerChaosUnderLoad: a synthetic client fleet drives
+//     hundreds of jobs through a deliberately undersized server over
+//     real HTTP while a deterministic fault.Plan injects chaos on
+//     both sides — slow clients, mid-job cancellations, duplicate
+//     (idempotent) retries from the client plan; panics and stalls
+//     inside jobs from the server plan. The queue must shed with 429
+//     when full, every client must still reach a terminal answer, the
+//     accounting ledger must balance exactly against the per-job
+//     statuses, and after drain no goroutine may be left behind.
+//
+//   - TestServerDrainRestartResumeByteIdentical: kill a server mid-
+//     sweep (graceful drain), restart on the same spool, resubmit —
+//     the resumed result must be byte-identical to an uninterrupted
+//     run of the same spec.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// chaosJobs is the fleet's total job count; chaosClients submit them
+// concurrently. Kept deliberately above the server's capacity
+// (workers + queue) so backpressure must engage.
+const (
+	chaosJobs    = 240
+	chaosClients = 12
+)
+
+// chaosClientAction decides a client's behavior for one job from the
+// shared deterministic plan: the (client, job) pair is hashed exactly
+// like a message identity, so every run of the test makes identical
+// slow/cancel/duplicate choices.
+func chaosClientAction(plan *fault.Plan, client, job int) fault.Action {
+	return plan.MessageAction(client, 0, 0, 0, job)
+}
+
+func TestServerChaosUnderLoad(t *testing.T) {
+	// Server-side chaos: three jobs panic mid-execution, and several
+	// stall long enough to pin a worker. Paired stalls (2+3, 120+121)
+	// hold BOTH workers at once while the client burst is in flight,
+	// which forces the queue to overflow even on a single-CPU box
+	// where submission and execution otherwise self-throttle to the
+	// same rate. Job sequence numbers are assigned in acceptance
+	// order, so which spec hits which fault varies run to run — the
+	// ledger must balance regardless, which is the point.
+	serverPlan := &fault.Plan{
+		Seed:      42,
+		PanicRank: map[int]int{7: jobPhase, 63: jobPhase, 140: jobPhase},
+		StallRank: map[int]fault.Stall{
+			2:   {Phase: jobPhase, For: 400 * time.Millisecond},
+			3:   {Phase: jobPhase, For: 400 * time.Millisecond},
+			30:  {Phase: jobPhase, For: 100 * time.Millisecond},
+			120: {Phase: jobPhase, For: 300 * time.Millisecond},
+			121: {Phase: jobPhase, For: 300 * time.Millisecond},
+		},
+	}
+	// Client-side chaos, decided per (client, job): Drop = submit then
+	// immediately cancel; Delay = slow client (sleep before submit);
+	// Duplicate = idempotent double-submit.
+	clientPlan := &fault.Plan{Seed: 1337, DropProb: 0.15, DelayProb: 0.2, DupProb: 0.15}
+
+	baseGoroutines := runtime.NumGoroutine()
+	s := New(Options{
+		Workers:    2,
+		QueueDepth: 2, // capacity 4 against 12 clients: sheds must happen
+		Fault:      serverPlan,
+		// Generous per-job budget: chaos jobs must fail from injected
+		// faults, not from deadlines on a loaded CI box.
+		DefaultTimeout: time.Minute,
+	})
+	ts := httptest.NewServer(s.Handler())
+
+	type clientLedger struct {
+		submitted, sheds, canceled int64
+		statuses                   map[Status]int64
+	}
+	ledgers := make([]clientLedger, chaosClients)
+	var wg sync.WaitGroup
+	for c := 0; c < chaosClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			led := &ledgers[c]
+			led.statuses = make(map[Status]int64)
+			client := ts.Client()
+			// Phase 1: fire the whole batch without waiting for
+			// completions — the fleet keeps far more work in flight
+			// than the server's capacity, so the queue must overflow
+			// and shed; the retry loop in chaosSubmit rides out the
+			// 429s. Cancellations land while their jobs are queued or
+			// running, not after.
+			var ids []string
+			for i := c; i < chaosJobs; i += chaosClients {
+				action := chaosClientAction(clientPlan, c, i)
+				if action == fault.Delay {
+					time.Sleep(2 * time.Millisecond) // slow client
+				}
+				// A fifth of the specs repeat (seed collision), so the
+				// result cache sees traffic; a handful are tiny sweeps.
+				spec := graphJob(int64(i % (chaosJobs * 4 / 5)))
+				if i%80 == 40 {
+					spec = JobSpec{Kind: KindSweep, Sweep: &SweepSpec{
+						Snapshots: 1, Ks: []int{2}, Seed: 9,
+					}}
+				}
+				idemKey := ""
+				if action == fault.Duplicate {
+					idemKey = fmt.Sprintf("chaos-%d", i)
+				}
+
+				view, sheds, err := chaosSubmit(client, ts.URL, spec, idemKey)
+				led.submitted++
+				led.sheds += sheds
+				if err != nil {
+					t.Errorf("client %d job %d: %v", c, i, err)
+					continue
+				}
+				ids = append(ids, view.ID)
+				if action == fault.Duplicate {
+					dup, _, err := chaosSubmit(client, ts.URL, spec, idemKey)
+					if err != nil {
+						t.Errorf("client %d job %d duplicate: %v", c, i, err)
+					} else if dup.ID != view.ID {
+						t.Errorf("client %d job %d: duplicate got %s, original %s", c, i, dup.ID, view.ID)
+					}
+				}
+				if action == fault.Drop {
+					led.canceled++
+					req, _ := http.NewRequest("DELETE", ts.URL+"/api/v1/jobs/"+view.ID, nil)
+					resp, err := client.Do(req)
+					if err != nil {
+						t.Errorf("client %d job %d cancel: %v", c, i, err)
+					} else {
+						resp.Body.Close()
+					}
+				}
+			}
+			// Phase 2: collect every terminal status.
+			for _, id := range ids {
+				led.statuses[chaosAwait(t, client, ts.URL, id)]++
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Quiesce: drain must finish within grace and reject new intake.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain after chaos: %v", err)
+	}
+	ts.Close()
+
+	// Deterministic accounting, part 1: the server's ledger balances
+	// exactly.
+	a := s.Accounting()
+	if a.Submitted != a.Accepted+a.RejectedFull+a.RejectedDraining+a.RejectedInvalid+a.Deduped {
+		t.Errorf("submit ledger does not balance: %+v", a)
+	}
+	if a.Accepted != a.Completed+a.Failed+a.Canceled+a.Drained+a.DrainedQueued {
+		t.Errorf("outcome ledger does not balance: %+v", a)
+	}
+
+	// Part 2: the ledger equals the per-job statuses recomputed from
+	// the job list — the counters cannot drift from the truth.
+	recount := Accounting{}
+	for _, v := range s.Jobs() {
+		switch v.Status {
+		case StatusDone:
+			recount.Completed++
+		case StatusFailed:
+			recount.Failed++
+		case StatusCanceled:
+			recount.Canceled++
+		case StatusDrained:
+			recount.Drained++
+		case StatusDrainedQueued:
+			recount.DrainedQueued++
+		default:
+			t.Errorf("job %s not terminal after drain: %s", v.ID, v.Status)
+		}
+	}
+	if recount.Completed != a.Completed || recount.Failed != a.Failed ||
+		recount.Canceled != a.Canceled || recount.Drained != a.Drained ||
+		recount.DrainedQueued != a.DrainedQueued {
+		t.Errorf("ledger %+v disagrees with job statuses %+v", a, recount)
+	}
+
+	// Part 3: the client fleet's view agrees with the server's.
+	var clientSubmits, clientSheds, clientCancels int64
+	clientStatuses := make(map[Status]int64)
+	for i := range ledgers {
+		clientSubmits += ledgers[i].submitted
+		clientSheds += ledgers[i].sheds
+		clientCancels += ledgers[i].canceled
+		for st, n := range ledgers[i].statuses {
+			clientStatuses[st] += n
+		}
+	}
+	if clientSubmits != chaosJobs {
+		t.Errorf("clients completed %d protocol rounds, want %d", clientSubmits, chaosJobs)
+	}
+	if clientSheds != a.RejectedFull {
+		t.Errorf("clients saw %d sheds (429), server counted %d", clientSheds, a.RejectedFull)
+	}
+	if clientSheds == 0 {
+		t.Errorf("no 429 sheds: %d clients against queue depth 4 should overload; backpressure never engaged", chaosClients)
+	}
+	if got := clientStatuses[StatusFailed]; got != a.Failed {
+		t.Errorf("clients observed %d failed jobs, ledger says %d", got, a.Failed)
+	}
+	if a.Failed > int64(len(serverPlan.PanicRank)) {
+		t.Errorf("%d failures for %d injected panics: something failed on its own", a.Failed, len(serverPlan.PanicRank))
+	}
+	if a.Deduped == 0 && clientStatuses[StatusDone] > 0 {
+		t.Errorf("duplicate submissions never deduped (plan schedules ~%d)", int(0.15*chaosJobs))
+	}
+
+	// No goroutine may outlive the drain (workers, handlers, waiters).
+	waitGoroutineBaseline(t, baseGoroutines)
+}
+
+// chaosSubmit submits with bounded 429 retries, counting the sheds.
+func chaosSubmit(client *http.Client, base string, spec JobSpec, idemKey string) (JobView, int64, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return JobView{}, 0, err
+	}
+	var sheds int64
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest("POST", base+"/api/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return JobView{}, sheds, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if idemKey != "" {
+			req.Header.Set("Idempotency-Key", idemKey)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return JobView{}, sheds, err
+		}
+		var view JobView
+		decodeErr := json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests:
+			sheds++
+			if attempt > 10_000 {
+				return JobView{}, sheds, fmt.Errorf("still shed after %d attempts", attempt)
+			}
+			time.Sleep(2 * time.Millisecond)
+		case resp.StatusCode != http.StatusAccepted:
+			return JobView{}, sheds, fmt.Errorf("submit: HTTP %d", resp.StatusCode)
+		case decodeErr != nil:
+			return JobView{}, sheds, decodeErr
+		default:
+			return view, sheds, nil
+		}
+	}
+}
+
+// chaosAwait blocks until the job is terminal and returns its status.
+func chaosAwait(t *testing.T, client *http.Client, base, id string) Status {
+	t.Helper()
+	resp, err := client.Get(base + "/api/v1/jobs/" + id + "?wait=1")
+	if err != nil {
+		t.Errorf("wait %s: %v", id, err)
+		return ""
+	}
+	defer resp.Body.Close()
+	var view JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Errorf("wait %s: decode: %v", id, err)
+		return ""
+	}
+	if !view.Status.terminal() {
+		t.Errorf("wait %s returned non-terminal %s", id, view.Status)
+	}
+	return view.Status
+}
+
+// waitGoroutineBaseline polls the goroutine count back down to the
+// pre-test baseline, dumping stacks on failure.
+func waitGoroutineBaseline(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine leak after drain: %d live, baseline %d\n%s", n, base, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestServerDrainRestartResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second sweep; skipped with -short")
+	}
+	spool := t.TempDir()
+	sweep := JobSpec{Kind: KindSweep, Sweep: &SweepSpec{
+		Snapshots: 6, Ks: []int{2, 3, 4}, Seed: 11,
+	}}
+
+	// Reference: the uninterrupted run, on a server with its own spool.
+	ref := New(Options{Workers: 1, SpoolDir: t.TempDir()})
+	refView := wait(t, ref, mustSubmit(t, ref, sweep).ID)
+	drainServer(t, ref)
+	if refView.Status != StatusDone {
+		t.Fatalf("reference sweep: %s (%s)", refView.Status, refView.Error)
+	}
+
+	// Interrupted run: wait for the first checkpoint flush, then pull
+	// the plug mid-sweep.
+	first := New(Options{Workers: 1, SpoolDir: spool})
+	view := mustSubmit(t, first, sweep)
+	ckptPath := filepath.Join(spool, view.Hash+".ckpt")
+	waitForFile(t, first, view.ID, ckptPath)
+	drainServer(t, first)
+	view, err := first.Job(view.ID)
+	if err != nil {
+		t.Fatalf("job after drain: %v", err)
+	}
+	if view.Status != StatusDrained {
+		t.Fatalf("interrupted sweep: %s (%s), want drained", view.Status, view.Error)
+	}
+	if _, err := os.Stat(ckptPath); err != nil {
+		t.Fatalf("drain did not leave the checkpoint behind: %v", err)
+	}
+
+	// Restart: a fresh server on the same spool resumes the resubmitted
+	// spec from the checkpoint instead of starting over.
+	second := New(Options{Workers: 1, SpoolDir: spool})
+	resumed := wait(t, second, mustSubmit(t, second, sweep).ID)
+	drainServer(t, second)
+	if resumed.Status != StatusDone {
+		t.Fatalf("resumed sweep: %s (%s)", resumed.Status, resumed.Error)
+	}
+	if !resumed.Resumed {
+		t.Fatalf("restarted sweep did not resume from the spool checkpoint")
+	}
+
+	// The proof: kill + restart + resubmit is byte-identical to never
+	// having been interrupted.
+	if !bytes.Equal(resumed.Result, refView.Result) {
+		t.Fatalf("resumed result differs from uninterrupted run:\nresumed: %.200s…\nreference: %.200s…",
+			resumed.Result, refView.Result)
+	}
+	// And the spent checkpoint is gone.
+	if _, err := os.Stat(ckptPath); !os.IsNotExist(err) {
+		t.Fatalf("completed sweep left its checkpoint in the spool (stat err: %v)", err)
+	}
+}
+
+// drainServer drains with a generous grace and fails the test on
+// error.
+func drainServer(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// waitForFile polls until path exists (the first checkpoint flush),
+// failing if the job reaches a terminal state first — the workload
+// must be big enough that the drain lands mid-sweep.
+func waitForFile(t *testing.T, s *Server, jobID, path string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if _, err := os.Stat(path); err == nil {
+			return
+		}
+		if view, err := s.Job(jobID); err == nil && view.Status.terminal() {
+			t.Fatalf("sweep reached %s before its first checkpoint flush; grow the workload", view.Status)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no checkpoint at %s after 60s", path)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,168 @@
+package server
+
+// HTTP surface of the job engine. The API is deliberately small:
+//
+//	POST   /api/v1/jobs        submit (JSON JobSpec; Idempotency-Key
+//	                           header dedups retries) -> 202 + job view
+//	                           429 + Retry-After when the queue is full
+//	                           503 when draining, 400 when invalid
+//	GET    /api/v1/jobs        list jobs in submission order
+//	GET    /api/v1/jobs/{id}   job status; ?wait=1 blocks until terminal
+//	GET    /api/v1/jobs/{id}/result   result payload when done
+//	DELETE /api/v1/jobs/{id}   cancel
+//	GET    /api/v1/accounting  the job ledger
+//	GET    /metrics            server observability report (JSON)
+//	GET    /healthz            200 ok / 503 draining
+//
+// NewHTTPServer wraps the mux in an http.Server with read-header,
+// read, write, and idle timeouts, so slow-loris clients cannot pin
+// connections open indefinitely.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// maxBodyBytes bounds a submit body (graphs travel inline as JSON).
+const maxBodyBytes = 64 << 20
+
+// Handler returns the API mux for the server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /api/v1/accounting", s.handleAccounting)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// NewHTTPServer wraps the API in a hardened http.Server: header and
+// body read timeouts (slowloris protection), a write timeout sized
+// for large result payloads, and an idle keep-alive timeout. Callers
+// stop it with Shutdown(ctx) after draining the job engine.
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// httpError is the JSON error body.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	// The connection is the only sink for an encode error; a client
+	// that went away takes the response with it.
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, httpError{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("parse job spec: %w", err))
+		return
+	}
+	view, err := s.Submit(spec, r.Header.Get("Idempotency-Key"))
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.RetryAfter().Round(time.Second)/time.Second)))
+		writeErr(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrDraining):
+		writeErr(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusAccepted, view)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var view JobView
+	var err error
+	if r.URL.Query().Get("wait") != "" {
+		view, err = s.Wait(r.Context(), id)
+	} else {
+		view, err = s.Job(id)
+	}
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeErr(w, http.StatusNotFound, err)
+	case err != nil:
+		// Wait interrupted: the client went away or the server is
+		// shutting the connection down.
+		writeErr(w, http.StatusServiceUnavailable, err)
+	default:
+		writeJSON(w, http.StatusOK, view)
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	view, err := s.Job(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeErr(w, http.StatusNotFound, err)
+	case view.Status != StatusDone:
+		writeErr(w, http.StatusConflict,
+			fmt.Errorf("job %s is %s, result only exists when done", view.ID, view.Status))
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(view.Result) // connection errors have no other sink
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	view, err := s.Cancel(r.PathValue("id"))
+	if errors.Is(err, ErrNotFound) {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleAccounting(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Accounting())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rep := s.opt.Obs.Report()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = rep.WriteJSON(w) // connection errors have no other sink
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,600 @@
+// Package server is the partitioning-as-a-service core: a long-lived
+// job engine that accepts partition-a-graph and run-a-sweep jobs,
+// executes them on a bounded worker pool behind a bounded queue, and
+// survives the failure modes a daemon meets in production —
+//
+//   - backpressure: a full queue sheds load with ErrQueueFull (HTTP
+//     429 + Retry-After) instead of buffering without bound;
+//   - deadlines: every job runs under a context deadline that
+//     actually stops the multilevel recursion (partition.KWayCtx) and
+//     the sweep loop, not just abandons the goroutine;
+//   - panic isolation: a panicking job becomes that job's failure,
+//     never the daemon's;
+//   - idempotency: submissions carrying an idempotency key are
+//     deduplicated to the first job, so client retries are safe;
+//   - result caching: results are cached by spec hash in a bounded
+//     LRU, so repeat queries are O(1) and skip the queue entirely;
+//   - graceful drain: Drain stops intake, rejects the still-queued
+//     jobs, and cancels in-flight sweeps at a snapshot boundary with
+//     their progress durable in the checkpoint spool — a restarted
+//     server resumes a resubmitted sweep to byte-identical results.
+//
+// The HTTP surface lives in http.go; cmd/partsrv is the daemon.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/fault"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Sentinel errors of the submit path; the HTTP layer maps them to
+// status codes (429, 503, 404, 409). Validation failures are returned
+// as plain errors and map to 400.
+var (
+	// ErrQueueFull: the bounded job queue is at capacity; retry after
+	// the server's advertised backoff.
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrDraining: the server is shutting down and accepts no new work.
+	ErrDraining = errors.New("server: draining, not accepting jobs")
+	// ErrNotFound: no job with that id.
+	ErrNotFound = errors.New("server: no such job")
+)
+
+// Options configures a Server. The zero value gets sensible defaults
+// from withDefaults.
+type Options struct {
+	// Workers is the number of concurrent job executors.
+	Workers int
+	// JobWorkers bounds the worker pool inside one job (the multilevel
+	// recursion's pool and the sweep's experiment pool). Labels and
+	// results never depend on it.
+	JobWorkers int
+	// QueueDepth bounds the job queue; submissions past it shed with
+	// ErrQueueFull.
+	QueueDepth int
+	// DefaultTimeout/MaxTimeout bound per-job wall clock: jobs that
+	// specify no timeout get the default, and no job may exceed the
+	// maximum.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// CacheEntries bounds the result LRU (0 = default; negative
+	// disables caching).
+	CacheEntries int
+	// SpoolDir, when non-empty, enables sweep checkpointing: each sweep
+	// job checkpoints to <SpoolDir>/<spec hash>.ckpt after every
+	// measured snapshot, and a resubmitted sweep resumes from it.
+	SpoolDir string
+	// RetryAfter is the backoff the HTTP layer advertises on 429.
+	RetryAfter time.Duration
+	// MaxGraphVertices caps submitted graph sizes (memory protection).
+	MaxGraphVertices int
+	// Obs, when non-nil, receives server-level phases ("serve_job_wall"
+	// per finished job, with p50/p99 via its histogram), counters, and
+	// every finished job's merged per-job report.
+	Obs *obs.Collector
+	// Tracer, when non-nil, records a root span per executed job.
+	Tracer *obs.Tracer
+	// Fault, when non-nil, injects deterministic chaos into job
+	// execution: a job's sequence number is its rank, so
+	// Fault.PanicRank / StallRank schedule panics and stalls inside
+	// specific jobs (the chaos tests' lever). Nil-safe.
+	Fault *fault.Plan
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.JobWorkers == 0 {
+		o.JobWorkers = 1
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 16
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = time.Minute
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 5 * time.Minute
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 64
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.MaxGraphVertices <= 0 {
+		o.MaxGraphVertices = 2_000_000
+	}
+	return o
+}
+
+// Accounting is the server's job ledger. At quiescence it balances:
+//
+//	Submitted = Accepted + RejectedFull + RejectedDraining
+//	          + RejectedInvalid + Deduped
+//	Accepted  = Completed + Failed + Canceled + Drained + DrainedQueued
+//	          + (jobs still queued or running)
+//
+// The chaos tests assert both identities after drain, when nothing is
+// queued or running.
+type Accounting struct {
+	Submitted        int64 `json:"submitted"`
+	Accepted         int64 `json:"accepted"`
+	RejectedFull     int64 `json:"rejected_full"`
+	RejectedDraining int64 `json:"rejected_draining"`
+	RejectedInvalid  int64 `json:"rejected_invalid"`
+	Deduped          int64 `json:"deduped"`
+	CacheHits        int64 `json:"cache_hits"`
+	Completed        int64 `json:"completed"`
+	Failed           int64 `json:"failed"`
+	Canceled         int64 `json:"canceled"`
+	Drained          int64 `json:"drained"`
+	DrainedQueued    int64 `json:"drained_queued"`
+}
+
+// Server is the job engine. Create with New, stop with Drain.
+type Server struct {
+	opt   Options
+	cache *resultCache
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	queue      chan *Job
+	wg         sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	nextSeq  int64
+	jobs     map[string]*Job
+	order    []string          // job ids in submission order
+	byKey    map[string]string // idempotency key -> job id
+	acct     Accounting
+
+	sceneMu sync.Mutex
+	scenes  map[string][]sim.Snapshot
+}
+
+// New starts a server: opt.Workers executor goroutines behind a
+// QueueDepth-bounded queue. The caller must Drain it to stop.
+func New(opt Options) *Server {
+	opt = opt.withDefaults()
+	s := &Server{
+		opt:    opt,
+		queue:  make(chan *Job, opt.QueueDepth),
+		jobs:   make(map[string]*Job),
+		byKey:  make(map[string]string),
+		scenes: make(map[string][]sim.Snapshot),
+	}
+	if opt.CacheEntries > 0 {
+		s.cache = newResultCache(opt.CacheEntries)
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.wg.Add(opt.Workers)
+	for i := 0; i < opt.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates and enqueues a job, returning its view (status
+// "queued", or "done" immediately on a cache hit or an idempotent
+// duplicate of a finished job). idemKey, when non-empty, deduplicates
+// retries: a second submission with the same key returns the first
+// job instead of creating a new one. Errors: ErrDraining, ErrQueueFull
+// (retryable), or a validation error (not retryable).
+func (s *Server) Submit(spec JobSpec, idemKey string) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.acct.Submitted++
+	if s.draining {
+		s.acct.RejectedDraining++
+		return JobView{}, ErrDraining
+	}
+	if idemKey != "" {
+		if id, ok := s.byKey[idemKey]; ok {
+			s.acct.Deduped++
+			return s.jobs[id].view(), nil
+		}
+	}
+	if err := spec.validate(s.opt.MaxGraphVertices); err != nil {
+		s.acct.RejectedInvalid++
+		return JobView{}, fmt.Errorf("invalid job: %w", err)
+	}
+
+	job := &Job{
+		seq:       s.nextSeq,
+		key:       idemKey,
+		hash:      spec.hash(),
+		spec:      spec,
+		status:    StatusQueued,
+		done:      make(chan struct{}),
+		submitted: time.Now(),
+	}
+	job.id = fmt.Sprintf("job-%06d", job.seq)
+
+	// Result cache: an already-answered spec completes instantly and
+	// never occupies a queue slot.
+	if result, ok := s.cache.get(job.hash); ok {
+		job.status = StatusDone
+		job.result = result
+		job.cached = true
+		close(job.done)
+		s.acct.Accepted++
+		s.acct.CacheHits++
+		s.acct.Completed++
+		s.registerLocked(job)
+		return job.view(), nil
+	}
+
+	// Bounded queue: shed rather than buffer. The send happens under
+	// s.mu, which Drain also holds when it closes the queue, so a send
+	// on a closed channel cannot happen.
+	select {
+	case s.queue <- job:
+	default:
+		s.acct.RejectedFull++
+		return JobView{}, ErrQueueFull
+	}
+	s.acct.Accepted++
+	s.registerLocked(job)
+	return job.view(), nil
+}
+
+// registerLocked records an accepted job; only accepted jobs consume
+// a sequence number. Caller holds s.mu.
+func (s *Server) registerLocked(job *Job) {
+	s.nextSeq++
+	s.jobs[job.id] = job
+	s.order = append(s.order, job.id)
+	if job.key != "" {
+		s.byKey[job.key] = job.id
+	}
+}
+
+// Job returns a job's current view.
+func (s *Server) Job(id string) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, ErrNotFound
+	}
+	return job.view(), nil
+}
+
+// Jobs lists all jobs in submission order.
+func (s *Server) Jobs() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].view())
+	}
+	return out
+}
+
+// Cancel requests cancellation of a job. A queued job is cancelled on
+// the spot; a running one has its context cancelled and transitions
+// when the payload unwinds (its Done channel closes then). Cancelling
+// a terminal job is a no-op returning its final view.
+func (s *Server) Cancel(id string) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, ErrNotFound
+	}
+	if job.status.terminal() {
+		return job.view(), nil
+	}
+	job.clientStop = true
+	switch job.status {
+	case StatusQueued:
+		// The worker that eventually pops it sees the terminal status
+		// and skips it.
+		s.finishLocked(job, StatusCanceled, "canceled before start", nil, nil)
+	case StatusRunning:
+		job.cancel()
+	}
+	return job.view(), nil
+}
+
+// Wait blocks until the job reaches a terminal status (or ctx ends)
+// and returns its final view.
+func (s *Server) Wait(ctx context.Context, id string) (JobView, error) {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobView{}, ErrNotFound
+	}
+	select {
+	case <-job.done:
+		return s.Job(id)
+	case <-ctx.Done():
+		return JobView{}, ctx.Err()
+	}
+}
+
+// Accounting returns a snapshot of the job ledger.
+func (s *Server) Accounting() Accounting {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acct
+}
+
+// RetryAfter is the backoff the HTTP layer advertises with 429.
+func (s *Server) RetryAfter() time.Duration { return s.opt.RetryAfter }
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain gracefully stops the server: new submissions are rejected
+// with ErrDraining, jobs still queued are marked drained_queued
+// without running, and in-flight jobs have their contexts cancelled —
+// a running sweep stops at the next snapshot boundary with progress
+// durable in the checkpoint spool. Drain returns when every worker
+// has exited, or ctx's error if they don't make it in time (leaving
+// the workers to finish unwinding in the background). Idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.baseCancel()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain grace expired: %w", ctx.Err())
+	}
+}
+
+// worker executes jobs until the queue is closed and empty. Jobs
+// popped after drain began never start: they are marked
+// drained_queued for the client to resubmit elsewhere.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.mu.Lock()
+		switch {
+		case job.status.terminal():
+			// Cancelled while queued; nothing to do.
+			s.mu.Unlock()
+			continue
+		case s.draining:
+			s.finishLocked(job, StatusDrainedQueued, "server drained before the job started", nil, nil)
+			s.mu.Unlock()
+			continue
+		}
+		ctx, cancel := context.WithTimeout(s.baseCtx, job.spec.timeout(s.opt.DefaultTimeout, s.opt.MaxTimeout))
+		job.status = StatusRunning
+		job.cancel = cancel
+		s.mu.Unlock()
+
+		s.runJob(ctx, job)
+		cancel()
+	}
+}
+
+// jobPhase is the fault-plan phase under which job-level chaos
+// (PanicRank/StallRank keyed by job sequence number) is injected.
+const jobPhase = 0
+
+// runJob executes one job inside the panic/deadline envelope and
+// records the outcome. The recover means a panicking payload — or an
+// injected fault.InjectedPanic — fails the job, never the daemon.
+func (s *Server) runJob(ctx context.Context, job *Job) {
+	col := obs.New()
+	span := s.opt.Tracer.Root("job", obs.Str("id", job.id), obs.Str("kind", string(job.spec.Kind)))
+
+	var result []byte
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("job panicked: %v", r)
+				col.Add("job_panics", 1)
+			}
+		}()
+		s.opt.Fault.MaybePanic(int(job.seq), jobPhase)
+		s.opt.Fault.MaybeStall(ctx, int(job.seq), jobPhase)
+		switch job.spec.Kind {
+		case KindGraph:
+			result, err = s.runGraphJob(ctx, job, col, span)
+		case KindSweep:
+			result, err = s.runSweepJob(ctx, job, col, span)
+		default:
+			err = fmt.Errorf("unknown job kind %q", job.spec.Kind)
+		}
+	}()
+	span.End()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err == nil {
+		s.cache.put(job.hash, result)
+		s.finishLocked(job, StatusDone, "", result, col)
+		return
+	}
+	// Attribute the failure: client cancel beats drain beats deadline.
+	switch {
+	case job.clientStop && errors.Is(err, context.Canceled):
+		s.finishLocked(job, StatusCanceled, "canceled by client", nil, col)
+	case s.draining && errors.Is(err, context.Canceled):
+		s.finishLocked(job, StatusDrained, "interrupted by server drain; progress checkpointed", nil, col)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.finishLocked(job, StatusFailed, "deadline exceeded", nil, col)
+	default:
+		s.finishLocked(job, StatusFailed, err.Error(), nil, col)
+	}
+}
+
+// finishLocked moves a job to a terminal status, stamps its wall
+// clock and observability report, bumps the ledger, and wakes
+// waiters. Caller holds s.mu.
+func (s *Server) finishLocked(job *Job, status Status, errMsg string, result []byte, col *obs.Collector) {
+	job.status = status
+	job.err = errMsg
+	job.result = result
+	job.wallNS = int64(time.Since(job.submitted))
+	if col != nil {
+		rep := col.Report()
+		job.obsReport = &rep
+		if err := s.opt.Obs.Merge(rep); err != nil {
+			s.opt.Obs.Add("obs_merge_errors", 1)
+		}
+	}
+	if status == StatusDone {
+		// Only completed jobs feed the latency histogram; cancelled or
+		// drained jobs would skew p50/p99 with wall clock they never
+		// spent computing.
+		s.opt.Obs.Observe("serve_job_wall", time.Duration(job.wallNS))
+	}
+	switch status {
+	case StatusDone:
+		s.acct.Completed++
+	case StatusFailed:
+		s.acct.Failed++
+	case StatusCanceled:
+		s.acct.Canceled++
+	case StatusDrained:
+		s.acct.Drained++
+	case StatusDrainedQueued:
+		s.acct.DrainedQueued++
+	}
+	close(job.done)
+}
+
+// runGraphJob partitions the submitted graph with the requested
+// backend and reports labels, cut, and per-constraint imbalance.
+func (s *Server) runGraphJob(ctx context.Context, job *Job, col *obs.Collector, span *obs.Span) ([]byte, error) {
+	spec := job.spec
+	g, coords, err := spec.Graph.Build()
+	if err != nil {
+		return nil, err
+	}
+	be, err := backend.Lookup(spec.Backend)
+	if err != nil {
+		return nil, err
+	}
+	labels, err := be.Partition(backend.Input{Graph: g, Coords: coords, Dim: spec.Graph.Dim}, backend.Options{
+		K: spec.K, Seed: spec.Seed, Imbalance: spec.Imbalance,
+		Workers: s.opt.JobWorkers, Obs: col, Span: span, Ctx: ctx,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := GraphResult{
+		Labels:     labels,
+		Cut:        metrics.EdgeCut(g, labels),
+		Imbalances: metrics.LoadImbalance(g, labels, spec.K),
+	}
+	return json.Marshal(res)
+}
+
+// runSweepJob runs the evaluation harness over the (cached) synthetic
+// scene. With a spool directory configured the sweep checkpoints
+// after every measured snapshot; a resubmission after a drain resumes
+// from the checkpoint and returns bytes identical to an uninterrupted
+// run. The checkpoint is deleted on success and kept on any
+// interruption.
+func (s *Server) runSweepJob(ctx context.Context, job *Job, col *obs.Collector, span *obs.Span) ([]byte, error) {
+	spec := job.spec.Sweep.withDefaults()
+	snaps, err := s.scene(spec)
+	if err != nil {
+		return nil, err
+	}
+	cfgs := spec.harnessConfigs(col)
+
+	var ck *harness.Checkpointer
+	var ckPath string
+	if s.opt.SpoolDir != "" {
+		ckPath = filepath.Join(s.opt.SpoolDir, job.hash+".ckpt")
+		switch loaded, lerr := harness.LoadCheckpoint(ckPath, snaps, cfgs); {
+		case lerr == nil:
+			ck = loaded
+			s.mu.Lock()
+			job.resumed = true
+			s.mu.Unlock()
+			col.Add("sweep_resumes", 1)
+			if rep := ck.SavedObs(); rep != nil {
+				if merr := col.Merge(*rep); merr != nil {
+					col.Add("obs_merge_errors", 1)
+				}
+			}
+		case errors.Is(lerr, os.ErrNotExist):
+			ck = harness.NewCheckpointer(ckPath, snaps, cfgs)
+		case errors.Is(lerr, harness.ErrCheckpointMismatch):
+			// Stale spool entry from an older schema; start fresh. A
+			// hash collision between different workloads cannot get
+			// here (the spec hash covers every config field), so this
+			// is only ever a format-version bump.
+			col.Add("checkpoint_mismatches", 1)
+			ck = harness.NewCheckpointer(ckPath, snaps, cfgs)
+		default:
+			return nil, lerr
+		}
+		ck.Obs = col
+	}
+
+	results, err := harness.RunSweep(ctx, snaps, cfgs, harness.SweepOptions{
+		Workers: s.opt.JobWorkers, Checkpoint: ck, Span: span,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if ckPath != "" {
+		// Completed: the result is cached, the checkpoint is spent. A
+		// failed remove only costs spool space, not correctness.
+		if rerr := os.Remove(ckPath); rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
+			col.Add("spool_remove_errors", 1)
+		}
+	}
+	return json.Marshal(SweepResult{Results: results})
+}
+
+// scene returns the snapshot sequence for a sweep's scene parameters,
+// generating it on first use. Scenes are deterministic in their
+// parameters, so sharing them across jobs changes nothing but wall
+// clock.
+func (s *Server) scene(spec SweepSpec) ([]sim.Snapshot, error) {
+	key := spec.sceneKey()
+	s.sceneMu.Lock()
+	defer s.sceneMu.Unlock()
+	if snaps, ok := s.scenes[key]; ok {
+		return snaps, nil
+	}
+	snaps, err := sim.Run(spec.simConfig())
+	if err != nil {
+		return nil, err
+	}
+	s.scenes[key] = snaps
+	return snaps, nil
+}
