@@ -5,9 +5,9 @@
 # workers, and the parallel recursive-bisection partitioner), and a
 # short fuzz smoke per native fuzz target.
 
-.PHONY: check vet lint test race fuzz-smoke chaos serve bench trace
+.PHONY: check vet lint test race fuzz-smoke chaos serve bench trace obs
 
-check: vet lint race chaos serve fuzz-smoke trace
+check: vet lint race chaos serve fuzz-smoke trace obs
 
 vet:
 	go vet ./...
@@ -63,6 +63,24 @@ trace:
 	go run ./tools/tracecheck \
 		-require experiment,snapshot,mc_leg,ml_leg,rank,ghost_exchange,global_search,local_search,transport_exchange,rb_task,retry,fault_drop \
 		$(TRACE_OUT)
+
+# Observability gate under the race detector: the Prometheus renderer
+# and its validator (golden exposition, histogram invariants), the
+# rolling-window/SLO histogram, the flight recorder, structured-log
+# determinism, trace retention/retrieval over HTTP, and the chaos test
+# that scrapes /metrics, /debug/events, and a job trace mid-storm. The
+# contactbench line then proves a real sweep's exposition passes
+# promcheck end to end, required families included.
+PROM_OUT := $(if $(TMPDIR),$(TMPDIR),/tmp)/contactbench-metrics.prom
+obs:
+	go test -race -count=1 \
+		-run 'Prom|Window|Flight|Logger|Merge|Trace|Health|Events|Lifecycle|ChaosUnderLoad' \
+		./internal/obs ./internal/server
+	go run ./cmd/contactbench -quick -snapshots 2 -k 4 -prom $(PROM_OUT)
+	go run ./tools/promcheck \
+		-require partition,metric_eval,rb_coarsen,rb_refine,go_sched_goroutines_goroutines \
+		$(PROM_OUT)
+
 
 # Microbenchmarks plus the serial-vs-parallel KWay comparison and the
 # amortized adaptive-vs-scratch snapshot sweep; the latter two rewrite

@@ -65,6 +65,7 @@ func run() int {
 		workers    = flag.Int("workers", 0, "worker-pool size for the concurrent k-sweep (0 = GOMAXPROCS)")
 		phases     = flag.Bool("phases", false, "print the per-phase timing/counter table")
 		obsPath    = flag.String("obs", "", "write the per-phase observability report (JSON) to this file")
+		promPath   = flag.String("prom", "", "write the final observability report as Prometheus text exposition to this file")
 		cpuProf    = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a runtime/pprof heap profile to this file")
 		ckptPath   = flag.String("checkpoint", "", "checkpoint sweep progress to this file after every snapshot")
@@ -193,6 +194,23 @@ func run() int {
 			}
 			fmt.Printf("wrote observability report to %s\n", *obsPath)
 		}
+		if *promPath != "" {
+			f, err := os.Create(*promPath)
+			if err == nil {
+				err = col.Report().WritePrometheus(f)
+				if err == nil {
+					err = obs.WritePrometheusRuntime(f)
+				}
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				log.Print(err)
+				return 1
+			}
+			fmt.Printf("wrote Prometheus exposition to %s\n", *promPath)
+		}
 		if tracer != nil {
 			rootSpan.End()
 			if err := tracer.WriteTraceFile(*tracePath); err != nil {
@@ -252,13 +270,17 @@ func run() int {
 
 	prog := harness.NewProgress(len(snaps), cfgs)
 	if *httpAddr != "" {
+		// The serve path logs structured JSON like partsrv does, so a
+		// collector can ingest both binaries' stderr the same way.
+		slg := obs.NewLogger(os.Stderr, nil)
 		addr, stopServer, err := startServer(*httpAddr, col, prog)
 		if err != nil {
-			log.Print(err)
+			slg.Error("metrics server failed", "addr", *httpAddr, "err", err.Error())
 			return 1
 		}
 		defer stopServer()
 		fmt.Printf("serving /metrics, /progress, /debug/pprof on http://%s\n", addr)
+		slg.Info("metrics server up", "addr", addr)
 	}
 
 	t1 := time.Now()

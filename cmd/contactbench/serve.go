@@ -5,7 +5,8 @@ package main
 //
 //	/metrics          the obs report (phases, counters, gauges,
 //	                  histograms) plus runtime/metrics samples (heap,
-//	                  GC, goroutines) as JSON
+//	                  GC, goroutines) as JSON; ?format=prom switches
+//	                  to Prometheus text exposition
 //	/progress         the sweep cursor: per experiment, snapshot i of N
 //	/debug/pprof/*    the standard net/http/pprof handlers
 //
@@ -65,7 +66,14 @@ func runtimeSamples() map[string]any {
 // endpoints stream for a caller-chosen duration.
 func startServer(addr string, col *obs.Collector, prog *harness.Progress) (string, func(), error) {
 	mux := http.DefaultServeMux // net/http/pprof registered itself here
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			// A scrape's connection is the only sink for write errors.
+			_ = col.Report().WritePrometheus(w)
+			_ = obs.WritePrometheusRuntime(w)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", " ")

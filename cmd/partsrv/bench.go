@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -68,6 +69,14 @@ type benchResult struct {
 	// retried; the accounting ledger is the server's own view.
 	Retries    int64             `json:"retries_429"`
 	Accounting server.Accounting `json:"accounting"`
+	// Observability under load: a scraper polls /metrics?format=prom
+	// while the storm runs (every scrape is validated) and its
+	// request latency is recorded, plus the rolling-window job-wall
+	// p99 as the window saw it at the end of the run.
+	Scrapes     int64 `json:"scrapes"`
+	ScrapeP50NS int64 `json:"scrape_p50_ns"`
+	ScrapeP99NS int64 `json:"scrape_p99_ns"`
+	WindowP99NS int64 `json:"window_p99_ns"`
 }
 
 func runBench(opt server.Options, jobs int, outPath string) error {
@@ -87,6 +96,39 @@ func runBench(opt server.Options, jobs int, outPath string) error {
 	var retries int64
 	var mu sync.Mutex
 	var wg sync.WaitGroup
+
+	// Scrape loop: a monitoring client polling the Prometheus endpoint
+	// while the job storm runs, as a real deployment would. Each scrape
+	// is validated, and its latency lands in the bench result — a
+	// scrape that slows down under load is an operational regression.
+	stopScrape := make(chan struct{})
+	var scrapeWg sync.WaitGroup
+	var scrapeNS []int64 // owned by the scraper; read after join
+	scrapeWg.Add(1)
+	go func() {
+		defer scrapeWg.Done()
+		for {
+			select {
+			case <-stopScrape:
+				return
+			default:
+			}
+			s0 := time.Now()
+			resp, err := client.Get(base + "/metrics?format=prom")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench scrape: %v\n", err)
+				return
+			}
+			_, verr := obs.ValidateProm(resp.Body)
+			_ = resp.Body.Close() // validation already consumed the payload
+			if verr != nil {
+				fmt.Fprintf(os.Stderr, "bench scrape invalid: %v\n", verr)
+			}
+			scrapeNS = append(scrapeNS, time.Since(s0).Nanoseconds())
+			time.Sleep(50 * time.Millisecond)
+		}
+	}()
+
 	t0 := time.Now()
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
@@ -110,6 +152,9 @@ func runBench(opt server.Options, jobs int, outPath string) error {
 	}
 	wg.Wait()
 	wall := time.Since(t0)
+	close(stopScrape)
+	scrapeWg.Wait()
+	window := srv.Window() // before drain: the window only sees done jobs
 	_ = httpSrv.Close()
 	if err := drainQuiesced(srv); err != nil {
 		return err
@@ -123,13 +168,20 @@ func runBench(opt server.Options, jobs int, outPath string) error {
 		WallS:        wall.Seconds(),
 		JobsPerSec:   float64(jobs) / wall.Seconds(),
 		LatencyP50NS: pct(0.50), LatencyP90NS: pct(0.90), LatencyP99NS: pct(0.99),
-		Retries:    retries,
-		Accounting: srv.Accounting(),
+		Retries:     retries,
+		Accounting:  srv.Accounting(),
+		Scrapes:     int64(len(scrapeNS)),
+		WindowP99NS: window.P99,
 	}
 	for _, h := range opt.Obs.Report().Hists {
 		if h.Name == "serve_job_wall" {
 			res.ServeWallP50NS, res.ServeWallP90NS, res.ServeWallP99NS = h.P50, h.P90, h.P99
 		}
+	}
+	if len(scrapeNS) > 0 {
+		sort.Slice(scrapeNS, func(i, j int) bool { return scrapeNS[i] < scrapeNS[j] })
+		spct := func(p float64) int64 { return scrapeNS[int(p*float64(len(scrapeNS)-1))] }
+		res.ScrapeP50NS, res.ScrapeP99NS = spct(0.50), spct(0.99)
 	}
 	data, err := json.MarshalIndent(res, "", " ")
 	if err != nil {
@@ -138,9 +190,10 @@ func runBench(opt server.Options, jobs int, outPath string) error {
 	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("bench: %d jobs on %d clients in %.2fs (%.1f jobs/s, p50 %s p99 %s, %d retries) -> %s\n",
+	fmt.Printf("bench: %d jobs on %d clients in %.2fs (%.1f jobs/s, p50 %s p99 %s, %d retries, %d scrapes p99 %s) -> %s\n",
 		res.Jobs, res.Clients, res.WallS, res.JobsPerSec,
-		time.Duration(res.LatencyP50NS), time.Duration(res.LatencyP99NS), res.Retries, outPath)
+		time.Duration(res.LatencyP50NS), time.Duration(res.LatencyP99NS), res.Retries,
+		res.Scrapes, time.Duration(res.ScrapeP99NS), outPath)
 	return nil
 }
 

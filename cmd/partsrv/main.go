@@ -16,7 +16,15 @@
 //     drained_queued, checkpoints in-flight sweeps to the spool at a
 //     snapshot boundary, then shuts the HTTP listener down
 //     gracefully. A restarted daemon resumes a resubmitted sweep from
-//     the spool to byte-identical results.
+//     the spool to byte-identical results;
+//   - observability: structured JSON logs on stderr (one line per
+//     request and per job lifecycle event), GET /metrics?format=prom
+//     for Prometheus scrapes, per-job traces on
+//     GET /api/v1/jobs/{id}/trace (ring sized by -trace-ring), a
+//     flight recorder on GET /debug/events, and rolling-window
+//     latency/SLO accounting (-slo, -slo-window) surfaced in /metrics
+//     and /healthz. SIGQUIT dumps the flight recorder to stderr and
+//     keeps serving.
 //
 // -bench runs the self-contained serving benchmark instead (an
 // in-process server driven by concurrent HTTP clients) and writes the
@@ -27,7 +35,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"net"
 	"os"
 	"os/signal"
@@ -56,12 +64,17 @@ func run() int {
 		bench      = flag.Bool("bench", false, "run the serving benchmark instead of the daemon")
 		benchJSON  = flag.String("bench-json", "BENCH_serve.json", "benchmark output path (with -bench)")
 		benchJobs  = flag.Int("bench-jobs", 300, "jobs submitted by the benchmark (with -bench)")
+		traceRing  = flag.Int("trace-ring", 64, "completed-job traces retained for GET /api/v1/jobs/{id}/trace (0 = off)")
+		events     = flag.Int("events", 256, "flight-recorder ring capacity (GET /debug/events)")
+		slo        = flag.Duration("slo", 0, "per-job wall-clock latency objective; 0 disables SLO violation accounting")
+		sloWindow  = flag.Duration("slo-window", time.Minute, "rolling window for the p50/p99 and violation figures in /metrics and /healthz")
 	)
 	flag.Parse()
 
+	logger := obs.NewLogger(os.Stderr, nil)
 	if *spool != "" {
 		if err := os.MkdirAll(*spool, 0o755); err != nil {
-			log.Print(err)
+			logger.Error("spool setup failed", "err", err)
 			return 1
 		}
 	}
@@ -75,11 +88,21 @@ func run() int {
 		CacheEntries:   *cache,
 		SpoolDir:       *spool,
 		Obs:            col,
+		Log:            logger,
+		TraceRing:      *traceRing,
+		FlightEvents:   *events,
+		FlightDump:     os.Stderr,
+		WindowSlots:    6,
+		WindowSlot:     *sloWindow / 6,
+		SLOTarget:      *slo,
 	}
 
 	if *bench {
+		// The benchmark keeps the logging path hot but discards the
+		// lines: stderr stays readable for the bench summary.
+		opt.Log = obs.NewLogger(io.Discard, nil)
 		if err := runBench(opt, *benchJobs, *benchJSON); err != nil {
-			log.Print(err)
+			logger.Error("bench failed", "err", err)
 			return 1
 		}
 		return 0
@@ -89,24 +112,40 @@ func run() int {
 	httpSrv := server.NewHTTPServer(*addr, srv.Handler())
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Print(err)
+		logger.Error("listen failed", "addr", *addr, "err", err)
 		return 1
 	}
 	fmt.Printf("partsrv serving on http://%s (workers=%d queue=%d spool=%q)\n",
 		ln.Addr(), *workers, *queue, *spool)
+	logger.Info("serving", "addr", ln.Addr().String(), "workers", *workers,
+		"queue", *queue, "spool", *spool, "trace_ring", *traceRing,
+		"slo", slo.String(), "slo_window", sloWindow.String())
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
-	select {
-	case got := <-sig:
-		fmt.Printf("partsrv: %s: draining (grace %s)\n", got, *drainGrace)
-	case err := <-serveErr:
-		log.Printf("partsrv: listener failed: %v", err)
-		return 1
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT, syscall.SIGQUIT)
+	var cause os.Signal
+signals:
+	for {
+		select {
+		case got := <-sig:
+			if got == syscall.SIGQUIT {
+				// The operator's "what just happened": dump the flight
+				// recorder to stderr and keep serving.
+				srv.Flight().WriteText(os.Stderr)
+				continue
+			}
+			cause = got
+			break signals
+		case err := <-serveErr:
+			logger.Error("listener failed", "err", err)
+			return 1
+		}
 	}
+	fmt.Printf("partsrv: %s: draining (grace %s)\n", cause, *drainGrace)
+	logger.Info("draining", "signal", cause.String(), "grace", drainGrace.String())
 
 	// Drain order matters: stop the job engine first so in-flight
 	// sweeps checkpoint and queued jobs get their terminal status,
@@ -116,11 +155,11 @@ func run() int {
 	defer cancel()
 	code := 0
 	if err := srv.Drain(ctx); err != nil {
-		log.Printf("partsrv: %v", err)
+		logger.Error("drain failed", "err", err)
 		code = 1
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Printf("partsrv: http shutdown: %v", err)
+		logger.Error("http shutdown failed", "err", err)
 		_ = httpSrv.Close() // grace expired; refuse to hang exit
 		code = 1
 	}

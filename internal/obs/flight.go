@@ -1,0 +1,129 @@
+package obs
+
+// Flight recorder: a bounded, race-safe ring of recent lifecycle and
+// admission events (sheds, panics, deadline expiries, drain
+// transitions). Metrics tell you how often something happens; the
+// flight recorder tells you what happened *just now*, in order, with
+// job ids — so a post-mortem does not depend on a scrape having
+// landed in the right 10 seconds. The ring overwrites oldest-first
+// and never blocks or allocates per event beyond the detail strings
+// the caller already built.
+//
+// A nil *FlightRecorder no-ops on every method (the disabled path,
+// zero allocations), matching the Tracer/Collector contract.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// FlightEvent is one recorded event. Seq is a global 1-based sequence
+// number, so gaps reveal overwritten history.
+type FlightEvent struct {
+	Seq    int64     `json:"seq"`
+	Time   time.Time `json:"time"`
+	Kind   string    `json:"kind"`
+	Job    string    `json:"job,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// FlightRecorder is a fixed-capacity ring of FlightEvents.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	buf   []FlightEvent
+	seq   int64
+	clock func() time.Time
+}
+
+// NewFlightRecorder builds a recorder holding the last cap events.
+// clock may be nil (time.Now) or injected for deterministic tests.
+func NewFlightRecorder(cap int, clock func() time.Time) *FlightRecorder {
+	if cap <= 0 {
+		cap = 256
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &FlightRecorder{buf: make([]FlightEvent, 0, cap), clock: clock}
+}
+
+// Record appends one event, evicting the oldest when full.
+func (f *FlightRecorder) Record(kind, job, detail string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.seq++
+	ev := FlightEvent{Seq: f.seq, Time: f.clock(), Kind: kind, Job: job, Detail: detail}
+	if len(f.buf) < cap(f.buf) {
+		f.buf = append(f.buf, ev)
+	} else {
+		f.buf[int((f.seq-1)%int64(cap(f.buf)))] = ev
+	}
+	f.mu.Unlock()
+}
+
+// Events returns the retained events oldest-first. Nil receiver
+// returns nil.
+func (f *FlightRecorder) Events() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FlightEvent, 0, len(f.buf))
+	if len(f.buf) < cap(f.buf) {
+		out = append(out, f.buf...)
+		return out
+	}
+	// Ring is full: oldest entry sits just past the newest.
+	head := int(f.seq % int64(cap(f.buf)))
+	out = append(out, f.buf[head:]...)
+	out = append(out, f.buf[:head]...)
+	return out
+}
+
+// flightDump is the /debug/events JSON shape.
+type flightDump struct {
+	Cap     int           `json:"cap"`
+	Total   int64         `json:"total"`   // events ever recorded
+	Dropped int64         `json:"dropped"` // overwritten by the ring
+	Events  []FlightEvent `json:"events"`
+}
+
+// WriteJSON writes the retained events (oldest-first) plus ring
+// metadata as one JSON document.
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	d := flightDump{Events: []FlightEvent{}}
+	if f != nil {
+		d.Events = f.Events()
+		f.mu.Lock()
+		d.Cap = cap(f.buf)
+		d.Total = f.seq
+		f.mu.Unlock()
+		d.Dropped = d.Total - int64(len(d.Events))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(d)
+}
+
+// WriteText dumps the retained events in a human-oriented form (the
+// panic/SIGQUIT stderr path).
+func (f *FlightRecorder) WriteText(w io.Writer) {
+	if f == nil {
+		return
+	}
+	evs := f.Events()
+	f.mu.Lock()
+	total, capN := f.seq, cap(f.buf)
+	f.mu.Unlock()
+	fmt.Fprintf(w, "flight recorder: %d of %d events retained (cap %d)\n", len(evs), total, capN)
+	for _, ev := range evs {
+		fmt.Fprintf(w, "  %6d %s %-16s %-12s %s\n",
+			ev.Seq, ev.Time.Format(time.RFC3339Nano), ev.Kind, ev.Job, ev.Detail)
+	}
+}

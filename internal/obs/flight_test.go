@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFlightRecorderRing checks eviction order and the seq-gap
+// contract: once the ring wraps, Events() is still oldest-first and
+// the dropped count is visible in the JSON dump.
+func TestFlightRecorderRing(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(42, 0)}
+	f := NewFlightRecorder(4, clk.time)
+	kinds := []string{"shed", "panic", "deadline", "drain_begin", "drained", "drain_end"}
+	for i, k := range kinds {
+		f.Record(k, "job-00000"+string(rune('0'+i)), "detail")
+		clk.advance(time.Second)
+	}
+
+	evs := f.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := int64(i + 3) // events 1,2 were evicted
+		if ev.Seq != wantSeq || ev.Kind != kinds[wantSeq-1] {
+			t.Fatalf("event %d = %+v, want seq %d kind %s", i, ev, wantSeq, kinds[wantSeq-1])
+		}
+	}
+	if !evs[0].Time.Before(evs[3].Time) {
+		t.Fatalf("events not in time order: %+v", evs)
+	}
+
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var dump struct {
+		Cap     int           `json:"cap"`
+		Total   int64         `json:"total"`
+		Dropped int64         `json:"dropped"`
+		Events  []FlightEvent `json:"events"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("dump not JSON: %v\n%s", err, buf.String())
+	}
+	if dump.Cap != 4 || dump.Total != 6 || dump.Dropped != 2 || len(dump.Events) != 4 {
+		t.Fatalf("dump metadata = cap %d total %d dropped %d events %d",
+			dump.Cap, dump.Total, dump.Dropped, len(dump.Events))
+	}
+}
+
+// TestFlightRecorderPartial covers the not-yet-full ring and the
+// stderr text dump.
+func TestFlightRecorderPartial(t *testing.T) {
+	f := NewFlightRecorder(8, (&fakeClock{now: time.Unix(7, 0)}).time)
+	f.Record("shed", "job-000000", "queue full (kind=graph)")
+	f.Record("panic", "job-000001", "boom")
+
+	evs := f.Events()
+	if len(evs) != 2 || evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Fatalf("events = %+v", evs)
+	}
+	var sb strings.Builder
+	f.WriteText(&sb)
+	out := sb.String()
+	for _, want := range []string{"2 of 2 events retained (cap 8)", "shed", "queue full", "panic", "boom"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFlightRecorderNil: nil recorders dump an empty but valid JSON
+// document (the /debug/events handler relies on this).
+func TestFlightRecorderNil(t *testing.T) {
+	var f *FlightRecorder
+	f.Record("shed", "", "")
+	if evs := f.Events(); evs != nil {
+		t.Fatalf("nil recorder returned events: %+v", evs)
+	}
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON on nil: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"events": []`) {
+		t.Fatalf("nil dump = %s", buf.String())
+	}
+	f.WriteText(&buf) // must not panic
+}
+
+// TestFlightRecorderConcurrent exercises the ring under -race.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(32, nil)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			for i := 0; i < 300; i++ {
+				f.Record("shed", "job", "detail")
+				if i%37 == 0 {
+					_ = f.Events()
+				}
+			}
+			done <- struct{}{}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	evs := f.Events()
+	if len(evs) != 32 {
+		t.Fatalf("retained %d, want 32", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("non-contiguous seqs at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestNewLoggerDeterministic: with an injected fixed clock the JSON
+// log line is byte-stable, which is what lets server tests assert
+// lifecycle output exactly.
+func TestNewLoggerDeterministic(t *testing.T) {
+	clk := func() time.Time { return time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC) }
+	var buf bytes.Buffer
+	log := NewLogger(&buf, clk)
+	log.Info("job done", "job", "job-000001", "wall_ms", 12)
+
+	want := `{"time":"2026-08-08T12:00:00Z","level":"INFO","msg":"job done","job":"job-000001","wall_ms":12}` + "\n"
+	if buf.String() != want {
+		t.Fatalf("log line:\n got %q\nwant %q", buf.String(), want)
+	}
+
+	buf.Reset()
+	log.Error("listen failed", "err", "address in use")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("error line not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["level"] != "ERROR" || rec["err"] != "address in use" {
+		t.Fatalf("error record = %v", rec)
+	}
+}
+
+// TestNewLoggerRealClock: without an injected clock the handler still
+// emits a parseable timestamp.
+func TestNewLoggerRealClock(t *testing.T) {
+	var buf bytes.Buffer
+	NewLogger(&buf, nil).Info("up")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, buf.String())
+	}
+	ts, ok := rec["time"].(string)
+	if !ok {
+		t.Fatalf("no time field: %v", rec)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, ts); err != nil {
+		t.Fatalf("unparseable time %q: %v", ts, err)
+	}
+}

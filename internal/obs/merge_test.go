@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Error-path coverage for the checkpoint-resume fold: Merge must
+// reject reports whose histogram bucket indexes fall outside the
+// fixed layout, and must stay exact on the good path.
+
+func TestHistMergeRejectsBadBucketIndex(t *testing.T) {
+	for _, idx := range []int{-1, numHistBuckets, numHistBuckets + 17} {
+		var h hist
+		err := h.merge(HistStat{
+			Name: "serve_job_wall", Count: 1, Sum: 5, Min: 5, Max: 5,
+			Buckets: []HistBucket{{Index: idx, Count: 1}},
+		})
+		if err == nil {
+			t.Fatalf("merge accepted bucket index %d", idx)
+		}
+		if !strings.Contains(err.Error(), "bucket index") || !strings.Contains(err.Error(), "serve_job_wall") {
+			t.Fatalf("error %q should name the histogram and the bad index", err)
+		}
+	}
+}
+
+func TestHistMergeEmptyStatIsNoop(t *testing.T) {
+	var h hist
+	h.observe(9)
+	// Count == 0 short-circuits before the (bogus) buckets are read:
+	// an empty checkpoint section merges as a no-op.
+	if err := h.merge(HistStat{Name: "x", Buckets: []HistBucket{{Index: -5, Count: 1}}}); err != nil {
+		t.Fatalf("empty stat merge: %v", err)
+	}
+	if h.count != 1 || h.sum != 9 {
+		t.Fatalf("empty merge mutated state: count %d sum %d", h.count, h.sum)
+	}
+}
+
+func TestCollectorMergePropagatesHistError(t *testing.T) {
+	c := New()
+	bad := Report{
+		Counters: []CounterStat{{Name: "serve_jobs_accepted", Value: 3}},
+		Hists: []HistStat{{
+			Name: "latency", Count: 2, Sum: 10, Min: 3, Max: 7,
+			Buckets: []HistBucket{{Index: numHistBuckets + 1, Count: 2}},
+		}},
+	}
+	if err := c.Merge(bad); err == nil {
+		t.Fatal("Merge accepted an out-of-range bucket index")
+	}
+	// The counter section merged before the histogram failed; Merge is
+	// not transactional, and the resume path treats any error as fatal.
+	r := c.Report()
+	if len(r.Counters) != 1 || r.Counters[0].Value != 3 {
+		t.Fatalf("counters after failed merge = %+v", r.Counters)
+	}
+}
+
+func TestCollectorMergeNil(t *testing.T) {
+	var c *Collector
+	if err := c.Merge(Report{Hists: []HistStat{{Name: "x", Count: 1, Buckets: []HistBucket{{Index: -1, Count: 1}}}}}); err != nil {
+		t.Fatalf("nil collector Merge: %v", err)
+	}
+}
+
+// TestCollectorMergeRoundTrip pins the good path end to end: report,
+// merge into a fresh collector, report again, identical stats.
+func TestCollectorMergeRoundTrip(t *testing.T) {
+	a := New()
+	a.Observe("partition", 3*time.Millisecond)
+	a.Observe("partition", 5*time.Millisecond)
+	a.Add("cut", 17)
+	a.Max("peak", 4)
+	a.Hist("sizes", 100)
+	a.Hist("sizes", 1000)
+
+	b := New()
+	if err := b.Merge(a.Report()); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	ra, rb := a.Report(), b.Report()
+	if len(rb.Hists) != len(ra.Hists) {
+		t.Fatalf("hist count %d != %d", len(rb.Hists), len(ra.Hists))
+	}
+	for i := range ra.Hists {
+		ha, hb := ra.Hists[i], rb.Hists[i]
+		if ha.Name != hb.Name || ha.Count != hb.Count || ha.Sum != hb.Sum ||
+			ha.P50 != hb.P50 || ha.P99 != hb.P99 || len(ha.Buckets) != len(hb.Buckets) {
+			t.Fatalf("hist %s diverged after merge:\n a %+v\n b %+v", ha.Name, ha, hb)
+		}
+	}
+	if len(rb.Counters) != 1 || rb.Counters[0].Value != 17 {
+		t.Fatalf("counters = %+v", rb.Counters)
+	}
+	if len(rb.Gauges) != 1 || rb.Gauges[0].Value != 4 {
+		t.Fatalf("gauges = %+v", rb.Gauges)
+	}
+}

@@ -1,0 +1,172 @@
+package obs
+
+// Rolling-window latency tracking for the serving layer.
+//
+// The PR 4 histograms are cumulative since boot — fine for offline
+// sweeps, useless for "what was p99 over the last minute" on a
+// long-lived daemon. WindowedHist keeps a small ring of the same
+// fixed log-bucket sub-histograms, one per time slot; an observation
+// lands in the slot owned by the current epoch (clock time divided by
+// the slot duration), and a snapshot merges only slots whose epoch is
+// still inside the window. Slots are invalidated lazily: the first
+// observation (or snapshot) that finds a slot tagged with a stale
+// epoch resets it, so rotation needs no timer goroutine and the
+// structure is fully deterministic under an injected clock.
+//
+// The window therefore covers between (slots-1) and slots full slot
+// durations depending on phase within the current slot — standard
+// ring-buffer windowing; callers size slots accordingly.
+//
+// SLO accounting rides along: observations above the objective are
+// counted both cumulatively (error-budget burn since boot, exported
+// as counters so Prometheus rate() works) and per window.
+//
+// A nil *WindowedHist is the disabled path: every method no-ops
+// without allocating, matching the Tracer/Collector contract pinned
+// by TestDisabledPathsZeroAlloc.
+
+import (
+	"sync"
+	"time"
+)
+
+// windowSlot is one rotation slot: the epoch that owns it plus its
+// sub-histogram and per-slot violation count.
+type windowSlot struct {
+	epoch int64
+	viol  int64
+	h     hist
+}
+
+// WindowedHist is a rolling window of log-bucket histograms with an
+// optional latency objective. Safe for concurrent use.
+type WindowedHist struct {
+	mu        sync.Mutex
+	slotDur   time.Duration
+	slots     []windowSlot
+	objective int64 // SLO threshold in observation units; 0 disables
+	clock     func() time.Time
+	totalObs  int64 // observations since creation
+	totalViol int64 // observations above objective since creation
+}
+
+// NewWindowedHist builds a window of `slots` sub-histograms of
+// `slot` duration each. objective is the latency objective in the
+// same units as observations (nanoseconds for serve_job_wall); 0
+// disables violation tracking. clock may be nil (time.Now) or
+// injected for deterministic tests.
+func NewWindowedHist(slot time.Duration, slots int, objective int64, clock func() time.Time) *WindowedHist {
+	if slot <= 0 {
+		slot = 10 * time.Second
+	}
+	if slots <= 0 {
+		slots = 6
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	w := &WindowedHist{
+		slotDur:   slot,
+		slots:     make([]windowSlot, slots),
+		objective: objective,
+		clock:     clock,
+	}
+	// Epoch 0 is a real epoch for a fake clock starting at the zero
+	// time; mark fresh slots as never-owned instead.
+	for i := range w.slots {
+		w.slots[i].epoch = -1
+	}
+	return w
+}
+
+// Observe records one value into the current slot.
+func (w *WindowedHist) Observe(v int64) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	epoch := w.clock().UnixNano() / int64(w.slotDur)
+	s := &w.slots[int(epoch%int64(len(w.slots)))]
+	if s.epoch != epoch {
+		s.h = hist{}
+		s.viol = 0
+		s.epoch = epoch
+	}
+	s.h.observe(v)
+	w.totalObs++
+	if w.objective > 0 && v > w.objective {
+		s.viol++
+		w.totalViol++
+	}
+	w.mu.Unlock()
+}
+
+// WindowStat is a point-in-time view of the rolling window plus the
+// cumulative SLO ledger.
+type WindowStat struct {
+	WindowNS int64 `json:"window_ns"` // slot duration x slot count
+	SlotNS   int64 `json:"slot_ns"`
+	Count    int64 `json:"count"` // observations inside the window
+	Sum      int64 `json:"sum"`
+	Min      int64 `json:"min"`
+	Max      int64 `json:"max"`
+	P50      int64 `json:"p50"`
+	P90      int64 `json:"p90"`
+	P99      int64 `json:"p99"`
+	// ObjectiveNS is the configured latency objective (0 = disabled).
+	ObjectiveNS int64 `json:"objective_ns"`
+	// WindowViolations counts in-window observations above the
+	// objective; Observed/Violations are since-boot totals (the
+	// error-budget burn counters).
+	WindowViolations int64 `json:"window_violations"`
+	Observed         int64 `json:"observed_total"`
+	Violations       int64 `json:"violations_total"`
+}
+
+// Snapshot merges the live slots into one WindowStat. A nil receiver
+// returns the zero value.
+func (w *WindowedHist) Snapshot() WindowStat {
+	if w == nil {
+		return WindowStat{}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	epoch := w.clock().UnixNano() / int64(w.slotDur)
+	oldest := epoch - int64(len(w.slots)) + 1
+	var merged hist
+	st := WindowStat{
+		WindowNS:    int64(w.slotDur) * int64(len(w.slots)),
+		SlotNS:      int64(w.slotDur),
+		ObjectiveNS: w.objective,
+		Observed:    w.totalObs,
+		Violations:  w.totalViol,
+	}
+	for i := range w.slots {
+		s := &w.slots[i]
+		if s.epoch < oldest || s.epoch > epoch {
+			continue // stale (or never owned); reset lazily on next write
+		}
+		merged.count += s.h.count
+		merged.sum += s.h.sum
+		if merged.count == s.h.count || s.h.min < merged.min {
+			merged.min = s.h.min
+		}
+		if s.h.max > merged.max {
+			merged.max = s.h.max
+		}
+		for b := range s.h.buckets {
+			merged.buckets[b] += s.h.buckets[b]
+		}
+		st.WindowViolations += s.viol
+	}
+	st.Count = merged.count
+	if merged.count > 0 {
+		st.Sum = merged.sum
+		st.Min = merged.min
+		st.Max = merged.max
+		st.P50 = merged.quantile(0.50)
+		st.P90 = merged.quantile(0.90)
+		st.P99 = merged.quantile(0.99)
+	}
+	return st
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable clock for deterministic window tests.
+type fakeClock struct{ now time.Time }
+
+func (f *fakeClock) time() time.Time         { return f.now }
+func (f *fakeClock) advance(d time.Duration) { f.now = f.now.Add(d) }
+
+func newWindowForTest(objective int64) (*WindowedHist, *fakeClock) {
+	clk := &fakeClock{now: time.Unix(1_000_000, 0)}
+	return NewWindowedHist(10*time.Second, 6, objective, clk.time), clk
+}
+
+// TestWindowedHistRolls checks the core property the cumulative
+// histograms lack: observations age out after the window passes.
+func TestWindowedHistRolls(t *testing.T) {
+	w, clk := newWindowForTest(0)
+	w.Observe(100)
+	w.Observe(200)
+	clk.advance(10 * time.Second) // next slot
+	w.Observe(400)
+
+	st := w.Snapshot()
+	if st.Count != 3 || st.Sum != 700 || st.Min != 100 || st.Max != 400 {
+		t.Fatalf("fresh window stat = %+v, want count 3 sum 700 min 100 max 400", st)
+	}
+	if st.WindowNS != int64(60*time.Second) || st.SlotNS != int64(10*time.Second) {
+		t.Fatalf("window geometry = %+v", st)
+	}
+	if st.P50 < 100 || st.P99 < st.P50 {
+		t.Fatalf("quantiles inconsistent: %+v", st)
+	}
+
+	// 50s later the first slot (2 obs) has aged out, the second (1
+	// obs, epoch now-5) is the oldest still inside the 6-slot window.
+	clk.advance(50 * time.Second)
+	st = w.Snapshot()
+	if st.Count != 1 || st.Sum != 400 {
+		t.Fatalf("after 50s stat = %+v, want only the 400 observation", st)
+	}
+
+	// One more slot and the window is empty.
+	clk.advance(10 * time.Second)
+	if st = w.Snapshot(); st.Count != 0 || st.P99 != 0 {
+		t.Fatalf("after 60s stat = %+v, want empty", st)
+	}
+}
+
+// TestWindowedHistSlotReuse checks lazy invalidation: when the clock
+// wraps all the way around the ring, a reused slot must not leak its
+// previous epoch's counts.
+func TestWindowedHistSlotReuse(t *testing.T) {
+	w, clk := newWindowForTest(0)
+	for i := 0; i < 10; i++ {
+		w.Observe(int64(1000 + i))
+	}
+	clk.advance(60 * time.Second) // exactly one full ring revolution: same slot index
+	w.Observe(7)
+	st := w.Snapshot()
+	if st.Count != 1 || st.Sum != 7 {
+		t.Fatalf("reused slot stat = %+v, want the single fresh observation", st)
+	}
+}
+
+// TestWindowedHistSLO checks the error-budget ledger: per-window
+// violation counts age out, cumulative burn counters do not.
+func TestWindowedHistSLO(t *testing.T) {
+	w, clk := newWindowForTest(100)
+	w.Observe(50)
+	w.Observe(150)
+	w.Observe(101)
+	st := w.Snapshot()
+	if st.ObjectiveNS != 100 {
+		t.Fatalf("objective = %d, want 100", st.ObjectiveNS)
+	}
+	if st.WindowViolations != 2 || st.Violations != 2 || st.Observed != 3 {
+		t.Fatalf("SLO stat = %+v, want 2 window / 2 total violations of 3 observed", st)
+	}
+	clk.advance(2 * time.Minute)
+	st = w.Snapshot()
+	if st.WindowViolations != 0 {
+		t.Fatalf("window violations survived the window: %+v", st)
+	}
+	if st.Violations != 2 || st.Observed != 3 {
+		t.Fatalf("cumulative SLO ledger reset: %+v", st)
+	}
+}
+
+// TestWindowedHistDefaults exercises the nil-clock and zero-geometry
+// defaults.
+func TestWindowedHistDefaults(t *testing.T) {
+	w := NewWindowedHist(0, 0, 0, nil)
+	w.Observe(5)
+	if st := w.Snapshot(); st.Count != 1 || st.SlotNS != int64(10*time.Second) {
+		t.Fatalf("default window stat = %+v", st)
+	}
+}
+
+// TestWindowedHistDisabledZeroAlloc pins the disabled path: a nil
+// *WindowedHist (and nil *FlightRecorder) must not allocate, matching
+// TestDisabledPathsZeroAlloc for the tracer and collector.
+func TestWindowedHistDisabledZeroAlloc(t *testing.T) {
+	var w *WindowedHist
+	var f *FlightRecorder
+	paths := map[string]func(){
+		"window observe":  func() { w.Observe(42) },
+		"window snapshot": func() { _ = w.Snapshot() },
+		"flight record":   func() { f.Record("shed", "job-000001", "queue full") },
+		"flight events":   func() { _ = f.Events() },
+	}
+	for name, fn := range paths {
+		if avg := testing.AllocsPerRun(200, fn); avg != 0 {
+			t.Errorf("%s: %v allocs/op on the disabled path, want 0", name, avg)
+		}
+	}
+}
+
+// TestWindowedHistConcurrent exercises the lock under -race.
+func TestWindowedHistConcurrent(t *testing.T) {
+	w := NewWindowedHist(time.Second, 4, 10, nil)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			for i := 0; i < 500; i++ {
+				w.Observe(int64(g*1000 + i))
+				if i%50 == 0 {
+					_ = w.Snapshot()
+				}
+			}
+			done <- struct{}{}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if st := w.Snapshot(); st.Observed != 2000 {
+		t.Fatalf("observed %d, want 2000", st.Observed)
+	}
+}

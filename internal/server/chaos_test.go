@@ -12,6 +12,11 @@ package server
 //     when full, every client must still reach a terminal answer, the
 //     accounting ledger must balance exactly against the per-job
 //     statuses, and after drain no goroutine may be left behind.
+//     While the storm runs, a scraper hammers the observability
+//     surfaces — /metrics?format=prom must stay valid exposition,
+//     /debug/events must stay well-formed JSON, and a finished job's
+//     trace must validate — and afterwards the flight recorder must
+//     hold every shed and panic the storm produced.
 //
 //   - TestServerDrainRestartResumeByteIdentical: kill a server mid-
 //     sweep (graceful drain), restart on the same spool, resubmit —
@@ -23,6 +28,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -33,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // chaosJobs is the fleet's total job count; chaosClients submit them
@@ -84,8 +91,78 @@ func TestServerChaosUnderLoad(t *testing.T) {
 		// Generous per-job budget: chaos jobs must fail from injected
 		// faults, not from deadlines on a loaded CI box.
 		DefaultTimeout: time.Minute,
+		// Observability under fire: structured logs stay on (discarded,
+		// but the encode path runs under -race), every executed job's
+		// trace is retained (240 jobs fit the ring, no eviction), and
+		// the flight ring is sized so no shed/panic event can rotate
+		// out before the post-drain audit.
+		Log:          obs.NewLogger(io.Discard, nil),
+		TraceRing:    chaosJobs + 16,
+		FlightEvents: 1 << 15,
 	})
 	ts := httptest.NewServer(s.Handler())
+
+	// Scraper: poll the three observability surfaces for the storm's
+	// whole duration. Every payload must be well-formed while both
+	// workers are stalling, panicking, and shedding under -race.
+	stopScrape := make(chan struct{})
+	var scrapeWg sync.WaitGroup
+	var promScrapes, traceScrapes int64 // written by scraper, read after join
+	scrapeWg.Add(1)
+	go func() {
+		defer scrapeWg.Done()
+		client := ts.Client()
+		for {
+			select {
+			case <-stopScrape:
+				return
+			default:
+			}
+			// Prometheus exposition must parse and keep its histogram
+			// invariants mid-storm.
+			if body, err := chaosGet(client, ts.URL+"/metrics?format=prom"); err != nil {
+				t.Errorf("mid-storm prom scrape: %v", err)
+			} else if _, err := obs.ValidateProm(bytes.NewReader(body)); err != nil {
+				t.Errorf("mid-storm prom scrape invalid: %v", err)
+			} else {
+				promScrapes++
+			}
+			// The flight-recorder dump must stay well-formed JSON.
+			if body, err := chaosGet(client, ts.URL+"/debug/events"); err != nil {
+				t.Errorf("mid-storm /debug/events: %v", err)
+			} else {
+				var dump struct {
+					Events []obs.FlightEvent `json:"events"`
+				}
+				if err := json.Unmarshal(body, &dump); err != nil {
+					t.Errorf("mid-storm /debug/events invalid: %v", err)
+				}
+			}
+			// A finished (non-cached) job's retained trace must pass
+			// trace validation. Cache hits never executed, so they have
+			// no trace; skip them.
+			if body, err := chaosGet(client, ts.URL+"/api/v1/jobs"); err == nil {
+				var views []JobView
+				if json.Unmarshal(body, &views) == nil {
+					for i := len(views) - 1; i >= 0; i-- {
+						if views[i].Status != StatusDone || views[i].Cached {
+							continue
+						}
+						tb, err := chaosGet(client, ts.URL+"/api/v1/jobs/"+views[i].ID+"/trace")
+						if err != nil {
+							t.Errorf("mid-storm trace %s: %v", views[i].ID, err)
+						} else if _, err := obs.ValidateTrace(bytes.NewReader(tb)); err != nil {
+							t.Errorf("mid-storm trace %s invalid: %v", views[i].ID, err)
+						} else {
+							traceScrapes++
+						}
+						break
+					}
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
 
 	type clientLedger struct {
 		submitted, sheds, canceled int64
@@ -159,6 +236,14 @@ func TestServerChaosUnderLoad(t *testing.T) {
 		}(c)
 	}
 	wg.Wait()
+	close(stopScrape)
+	scrapeWg.Wait()
+	if promScrapes == 0 {
+		t.Error("prom scraper never completed a valid scrape during the storm")
+	}
+	if traceScrapes == 0 {
+		t.Error("no completed job's trace was retrieved and validated during the storm")
+	}
 
 	// Quiesce: drain must finish within grace and reject new intake.
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
@@ -233,8 +318,45 @@ func TestServerChaosUnderLoad(t *testing.T) {
 		t.Errorf("duplicate submissions never deduped (plan schedules ~%d)", int(0.15*chaosJobs))
 	}
 
+	// Part 4: the flight recorder saw everything. One "shed" event per
+	// 429, one "panic" event per failed job — the ring is sized so
+	// nothing rotated out — plus the drain transition markers.
+	flightKinds := make(map[string]int64)
+	for _, ev := range s.Flight().Events() {
+		flightKinds[ev.Kind]++
+	}
+	if flightKinds["shed"] != a.RejectedFull {
+		t.Errorf("flight recorder holds %d shed events, ledger counted %d 429s",
+			flightKinds["shed"], a.RejectedFull)
+	}
+	if flightKinds["panic"] != a.Failed {
+		t.Errorf("flight recorder holds %d panic events, ledger counted %d failures",
+			flightKinds["panic"], a.Failed)
+	}
+	if flightKinds["drain_begin"] != 1 || flightKinds["drain_end"] != 1 {
+		t.Errorf("flight recorder drain markers: begin=%d end=%d, want 1/1",
+			flightKinds["drain_begin"], flightKinds["drain_end"])
+	}
+
 	// No goroutine may outlive the drain (workers, handlers, waiters).
 	waitGoroutineBaseline(t, baseGoroutines)
+}
+
+// chaosGet fetches a URL and returns the body, insisting on HTTP 200.
+func chaosGet(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: HTTP %d: %.200s", url, resp.StatusCode, body)
+	}
+	return body, nil
 }
 
 // chaosSubmit submits with bounded 429 retries, counting the sheds.

@@ -27,9 +27,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/backend"
@@ -92,6 +95,40 @@ type Options struct {
 	// Fault.PanicRank / StallRank schedule panics and stalls inside
 	// specific jobs (the chaos tests' lever). Nil-safe.
 	Fault *fault.Plan
+	// Log, when non-nil, receives structured lifecycle events
+	// (submitted/dedup/cache-hit/shed/started/done/...) and per-request
+	// access logs, each carrying job id, spec hash, and cause. Build
+	// one with obs.NewLogger; nil disables logging entirely.
+	Log *slog.Logger
+	// Flight, when non-nil, replaces the server's own flight recorder
+	// (a bounded ring of admission/lifecycle events behind GET
+	// /debug/events). When nil the server creates one of FlightEvents
+	// capacity.
+	Flight *obs.FlightRecorder
+	// FlightEvents sizes the default flight recorder (0 = 256).
+	FlightEvents int
+	// FlightDump, when non-nil, receives a flight-recorder text dump
+	// whenever a job panics (cmd/partsrv passes stderr, so post-mortem
+	// context survives even if nobody scrapes /debug/events).
+	FlightDump io.Writer
+	// TraceRing, when positive, runs every job under its own
+	// obs.Tracer and retains the last TraceRing completed jobs'
+	// traces for GET /api/v1/jobs/{id}/trace. 0 disables retention
+	// (jobs then share Options.Tracer, if any).
+	TraceRing int
+	// WindowSlot/WindowSlots configure the rolling latency window over
+	// serve_job_wall: WindowSlots sub-histograms of WindowSlot each
+	// (defaults 6 x 10s). The window feeds /metrics (both formats) and
+	// the /healthz readiness body.
+	WindowSlot  time.Duration
+	WindowSlots int
+	// SLOTarget is the latency objective for completed jobs; done jobs
+	// slower than it count against the error budget
+	// (serve_slo_violations_total). 0 disables violation tracking.
+	SLOTarget time.Duration
+	// Clock, when non-nil, replaces time.Now for the rolling window
+	// and the flight recorder (injectable for deterministic tests).
+	Clock func() time.Time
 }
 
 func (o Options) withDefaults() Options {
@@ -118,6 +155,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxGraphVertices <= 0 {
 		o.MaxGraphVertices = 2_000_000
+	}
+	if o.FlightEvents <= 0 {
+		o.FlightEvents = 256
+	}
+	if o.WindowSlot <= 0 {
+		o.WindowSlot = 10 * time.Second
+	}
+	if o.WindowSlots <= 0 {
+		o.WindowSlots = 6
 	}
 	return o
 }
@@ -148,8 +194,12 @@ type Accounting struct {
 
 // Server is the job engine. Create with New, stop with Drain.
 type Server struct {
-	opt   Options
-	cache *resultCache
+	opt    Options
+	cache  *resultCache
+	window *obs.WindowedHist
+	flight *obs.FlightRecorder
+	traces *traceRing
+	reqSeq atomic.Int64 // access-log request ids
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -159,6 +209,7 @@ type Server struct {
 	mu       sync.Mutex
 	draining bool
 	nextSeq  int64
+	inflight int // jobs in StatusRunning
 	jobs     map[string]*Job
 	order    []string          // job ids in submission order
 	byKey    map[string]string // idempotency key -> job id
@@ -182,6 +233,14 @@ func New(opt Options) *Server {
 	if opt.CacheEntries > 0 {
 		s.cache = newResultCache(opt.CacheEntries)
 	}
+	s.window = obs.NewWindowedHist(opt.WindowSlot, opt.WindowSlots, int64(opt.SLOTarget), opt.Clock)
+	s.flight = opt.Flight
+	if s.flight == nil {
+		s.flight = obs.NewFlightRecorder(opt.FlightEvents, opt.Clock)
+	}
+	if opt.TraceRing > 0 {
+		s.traces = newTraceRing(opt.TraceRing)
+	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.wg.Add(opt.Workers)
 	for i := 0; i < opt.Workers; i++ {
@@ -202,16 +261,20 @@ func (s *Server) Submit(spec JobSpec, idemKey string) (JobView, error) {
 	s.acct.Submitted++
 	if s.draining {
 		s.acct.RejectedDraining++
+		s.flight.Record("reject_draining", "", string(spec.Kind))
+		s.logEvent("rejected_draining", "kind", string(spec.Kind))
 		return JobView{}, ErrDraining
 	}
 	if idemKey != "" {
 		if id, ok := s.byKey[idemKey]; ok {
 			s.acct.Deduped++
+			s.logEvent("deduped", "job", id, "key", idemKey)
 			return s.jobs[id].view(), nil
 		}
 	}
 	if err := spec.validate(s.opt.MaxGraphVertices); err != nil {
 		s.acct.RejectedInvalid++
+		s.logEvent("rejected_invalid", "kind", string(spec.Kind), "cause", err.Error())
 		return JobView{}, fmt.Errorf("invalid job: %w", err)
 	}
 
@@ -237,6 +300,7 @@ func (s *Server) Submit(spec JobSpec, idemKey string) (JobView, error) {
 		s.acct.CacheHits++
 		s.acct.Completed++
 		s.registerLocked(job)
+		s.logEvent("cache_hit", "job", job.id, "hash", job.hash)
 		return job.view(), nil
 	}
 
@@ -247,11 +311,23 @@ func (s *Server) Submit(spec JobSpec, idemKey string) (JobView, error) {
 	case s.queue <- job:
 	default:
 		s.acct.RejectedFull++
+		s.flight.Record("shed", "", fmt.Sprintf("queue full (kind=%s hash=%s)", spec.Kind, job.hash))
+		s.logEvent("shed", "kind", string(spec.Kind), "hash", job.hash)
 		return JobView{}, ErrQueueFull
 	}
 	s.acct.Accepted++
 	s.registerLocked(job)
+	s.logEvent("submitted", "job", job.id, "kind", string(spec.Kind), "hash", job.hash)
 	return job.view(), nil
+}
+
+// logEvent emits one structured lifecycle event; a nil logger makes
+// it free.
+func (s *Server) logEvent(event string, args ...any) {
+	if s.opt.Log == nil {
+		return
+	}
+	s.opt.Log.Info(event, args...)
 }
 
 // registerLocked records an accepted job; only accepted jobs consume
@@ -340,6 +416,50 @@ func (s *Server) Accounting() Accounting {
 // RetryAfter is the backoff the HTTP layer advertises with 429.
 func (s *Server) RetryAfter() time.Duration { return s.opt.RetryAfter }
 
+// Flight returns the server's flight recorder (never nil), so the
+// daemon can dump it on SIGQUIT.
+func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
+
+// Window snapshots the rolling serve_job_wall latency window and the
+// SLO ledger.
+func (s *Server) Window() obs.WindowStat { return s.window.Snapshot() }
+
+// Health is the /healthz readiness body. Status and the HTTP code are
+// redundant on purpose: probes branch on the code, dashboards read
+// the body.
+type Health struct {
+	Status     string `json:"status"` // "ok" or "draining"
+	QueueDepth int    `json:"queue_depth"`
+	Inflight   int    `json:"inflight"`
+	// Rolling-window latency detail (serve_job_wall over the window).
+	WindowCount     int64 `json:"window_count"`
+	WindowP99NS     int64 `json:"window_p99_ns"`
+	SLOObjectiveNS  int64 `json:"slo_objective_ns,omitempty"`
+	SLOViolations   int64 `json:"slo_violations_total"`
+	WindowViolation int64 `json:"window_violations"`
+}
+
+// Health returns the readiness snapshot behind /healthz.
+func (s *Server) Health() Health {
+	ws := s.window.Snapshot()
+	s.mu.Lock()
+	h := Health{
+		Status:          "ok",
+		QueueDepth:      len(s.queue),
+		Inflight:        s.inflight,
+		WindowCount:     ws.Count,
+		WindowP99NS:     ws.P99,
+		SLOObjectiveNS:  ws.ObjectiveNS,
+		SLOViolations:   ws.Violations,
+		WindowViolation: ws.WindowViolations,
+	}
+	if s.draining {
+		h.Status = "draining"
+	}
+	s.mu.Unlock()
+	return h
+}
+
 // Draining reports whether Drain has been called.
 func (s *Server) Draining() bool {
 	s.mu.Lock()
@@ -359,6 +479,8 @@ func (s *Server) Drain(ctx context.Context) error {
 	if !s.draining {
 		s.draining = true
 		close(s.queue)
+		s.flight.Record("drain_begin", "", fmt.Sprintf("inflight=%d queued=%d", s.inflight, len(s.queue)))
+		s.logEvent("drain_begin", "inflight", s.inflight, "queued", len(s.queue))
 	}
 	s.mu.Unlock()
 	s.baseCancel()
@@ -370,6 +492,8 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.flight.Record("drain_end", "", "all workers exited")
+		s.logEvent("drain_end")
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("server: drain grace expired: %w", ctx.Err())
@@ -396,7 +520,9 @@ func (s *Server) worker() {
 		ctx, cancel := context.WithTimeout(s.baseCtx, job.spec.timeout(s.opt.DefaultTimeout, s.opt.MaxTimeout))
 		job.status = StatusRunning
 		job.cancel = cancel
+		s.inflight++
 		s.mu.Unlock()
+		s.logEvent("started", "job", job.id, "kind", string(job.spec.Kind), "hash", job.hash)
 
 		s.runJob(ctx, job)
 		cancel()
@@ -412,7 +538,16 @@ const jobPhase = 0
 // injected fault.InjectedPanic — fails the job, never the daemon.
 func (s *Server) runJob(ctx context.Context, job *Job) {
 	col := obs.New()
-	span := s.opt.Tracer.Root("job", obs.Str("id", job.id), obs.Str("kind", string(job.spec.Kind)))
+	// With a trace ring, the job runs under its own tracer so its
+	// spans are retrievable per job id after it finishes; otherwise
+	// all jobs share Options.Tracer (possibly nil = disabled).
+	tracer := s.opt.Tracer
+	var ringTracer *obs.Tracer
+	if s.traces != nil {
+		ringTracer = obs.NewTracer()
+		tracer = ringTracer
+	}
+	span := tracer.Root("job", obs.Str("id", job.id), obs.Str("kind", string(job.spec.Kind)))
 
 	var result []byte
 	var err error
@@ -421,6 +556,10 @@ func (s *Server) runJob(ctx context.Context, job *Job) {
 			if r := recover(); r != nil {
 				err = fmt.Errorf("job panicked: %v", r)
 				col.Add("job_panics", 1)
+				s.flight.Record("panic", job.id, fmt.Sprint(r))
+				if s.opt.FlightDump != nil {
+					s.flight.WriteText(s.opt.FlightDump)
+				}
 			}
 		}()
 		s.opt.Fault.MaybePanic(int(job.seq), jobPhase)
@@ -435,6 +574,11 @@ func (s *Server) runJob(ctx context.Context, job *Job) {
 		}
 	}()
 	span.End()
+	if ringTracer != nil {
+		// Retain before the terminal transition: once a waiter sees the
+		// job finished, its trace must already be retrievable.
+		s.traces.put(job.id, ringTracer)
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -448,8 +592,10 @@ func (s *Server) runJob(ctx context.Context, job *Job) {
 	case job.clientStop && errors.Is(err, context.Canceled):
 		s.finishLocked(job, StatusCanceled, "canceled by client", nil, col)
 	case s.draining && errors.Is(err, context.Canceled):
+		s.flight.Record("drained", job.id, "interrupted in flight")
 		s.finishLocked(job, StatusDrained, "interrupted by server drain; progress checkpointed", nil, col)
 	case errors.Is(err, context.DeadlineExceeded):
+		s.flight.Record("deadline", job.id, "deadline exceeded")
 		s.finishLocked(job, StatusFailed, "deadline exceeded", nil, col)
 	default:
 		s.finishLocked(job, StatusFailed, err.Error(), nil, col)
@@ -460,6 +606,9 @@ func (s *Server) runJob(ctx context.Context, job *Job) {
 // clock and observability report, bumps the ledger, and wakes
 // waiters. Caller holds s.mu.
 func (s *Server) finishLocked(job *Job, status Status, errMsg string, result []byte, col *obs.Collector) {
+	if job.status == StatusRunning {
+		s.inflight--
+	}
 	job.status = status
 	job.err = errMsg
 	job.result = result
@@ -472,10 +621,11 @@ func (s *Server) finishLocked(job *Job, status Status, errMsg string, result []b
 		}
 	}
 	if status == StatusDone {
-		// Only completed jobs feed the latency histogram; cancelled or
-		// drained jobs would skew p50/p99 with wall clock they never
-		// spent computing.
+		// Only completed jobs feed the latency histogram (cumulative
+		// and rolling-window); cancelled or drained jobs would skew
+		// p50/p99 with wall clock they never spent computing.
 		s.opt.Obs.Observe("serve_job_wall", time.Duration(job.wallNS))
+		s.window.Observe(job.wallNS)
 	}
 	switch status {
 	case StatusDone:
@@ -488,7 +638,10 @@ func (s *Server) finishLocked(job *Job, status Status, errMsg string, result []b
 		s.acct.Drained++
 	case StatusDrainedQueued:
 		s.acct.DrainedQueued++
+		s.flight.Record("drained_queued", job.id, "drained before start")
 	}
+	s.logEvent(string(status), "job", job.id, "hash", job.hash,
+		"cause", errMsg, "wall_ms", job.wallNS/int64(time.Millisecond))
 	close(job.done)
 }
 

@@ -1,0 +1,54 @@
+package server
+
+// traceRing retains the last N completed jobs' tracers so GET
+// /api/v1/jobs/{id}/trace can stream a job's Chrome trace-event JSON
+// after the fact. Eviction is strict insertion order (completion
+// order): the operator debugging a latency spike wants the most
+// recent jobs, and a bounded ring caps memory no matter how long the
+// daemon runs.
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+type traceRing struct {
+	mu   sync.Mutex
+	cap  int
+	byID map[string]*obs.Tracer
+	ids  []string // insertion order; evict from the front
+}
+
+func newTraceRing(cap int) *traceRing {
+	return &traceRing{cap: cap, byID: make(map[string]*obs.Tracer, cap)}
+}
+
+// put retains id's tracer, evicting the oldest entry when full.
+// Re-putting an existing id replaces its tracer in place.
+func (tr *traceRing) put(id string, t *obs.Tracer) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if _, ok := tr.byID[id]; ok {
+		tr.byID[id] = t
+		return
+	}
+	if len(tr.ids) >= tr.cap {
+		evict := tr.ids[0]
+		tr.ids = tr.ids[1:]
+		delete(tr.byID, evict)
+	}
+	tr.ids = append(tr.ids, id)
+	tr.byID[id] = t
+}
+
+// get returns id's retained tracer. A nil ring never holds anything.
+func (tr *traceRing) get(id string) (*obs.Tracer, bool) {
+	if tr == nil {
+		return nil, false
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	t, ok := tr.byID[id]
+	return t, ok
+}

@@ -1,0 +1,77 @@
+// Command promcheck validates Prometheus text exposition as served
+// from GET /metrics?format=prom: parseable sample lines, legal metric
+// and label names, TYPE discipline (one TYPE per family, declared
+// before its samples), non-negative counters, and — the property the
+// obs histogram renderer must uphold — histogram families with
+// strictly increasing le bounds, non-decreasing cumulative bucket
+// counts, and a final +Inf bucket equal to _count. It can
+// additionally require that named families are present, which is how
+// `make obs` asserts that a scrape covers the serving metrics.
+//
+// Usage:
+//
+//	promcheck [-require name,name,...] metrics.prom [more.prom...]
+//
+// Exit status 0 when every file validates and every required family
+// appears (in every file); 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("promcheck: ")
+	require := flag.String("require", "", "comma-separated metric family names that must appear in each file")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Print("usage: promcheck [-require name,...] metrics.prom [more.prom...]")
+		os.Exit(2)
+	}
+	var required []string
+	for _, name := range strings.Split(*require, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			required = append(required, name)
+		}
+	}
+
+	failed := false
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Print(err)
+			failed = true
+			continue
+		}
+		sum, err := obs.ValidateProm(f)
+		_ = f.Close() // read-only; a close error after validation carries no data
+		if err != nil {
+			log.Printf("%s: INVALID: %v", path, err)
+			failed = true
+			continue
+		}
+		var missing []string
+		for _, name := range required {
+			if sum.Names[name] == 0 {
+				missing = append(missing, name)
+			}
+		}
+		if len(missing) > 0 {
+			log.Printf("%s: valid but missing required famil(ies): %s", path, strings.Join(missing, ", "))
+			failed = true
+			continue
+		}
+		fmt.Printf("%s: OK — %d samples across %d families (%d histograms)\n",
+			path, sum.Lines, sum.Families, sum.Histograms)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
