@@ -5,17 +5,24 @@
 # workers, and the parallel recursive-bisection partitioner), and a
 # short fuzz smoke per native fuzz target.
 
-.PHONY: check vet lint test race fuzz-smoke chaos serve bench trace obs
+.PHONY: check vet lint lint-fixtures test race fuzz-smoke chaos serve bench trace obs
 
-check: vet lint race chaos serve fuzz-smoke trace obs
+check: vet lint lint-fixtures race chaos serve fuzz-smoke trace obs
 
 vet:
 	go vet ./...
 
-# Repo-specific determinism/observability contracts. `go run` builds
-# the driver fresh, so the gate always reflects the working tree.
+# Repo-specific determinism/observability/serving contracts. `go run`
+# builds the driver fresh, so the gate always reflects the working
+# tree; -stats prints the per-analyzer diagnostic count and wall time.
 lint:
-	go run ./tools/contactlint ./internal/... ./cmd/... ./tools/...
+	go run ./tools/contactlint -stats ./internal/... ./cmd/... ./tools/... ./examples/...
+
+# Golden-fixture tests only: each analyzer alone over its positive/
+# suppressed/clean fixture package, plus the suppression-machinery
+# suite. Fast inner loop when writing or tuning an analyzer.
+lint-fixtures:
+	go test ./internal/lint -run 'TestGoldenAnalyzers|TestDirectives' -count=1
 
 test:
 	go test ./...

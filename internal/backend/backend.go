@@ -67,6 +67,7 @@ func (o Options) ctx() context.Context {
 	if o.Ctx != nil {
 		return o.Ctx
 	}
+	//lint:ignore ctxflow nil Ctx means the caller opted out of cancellation; this is the documented default
 	return context.Background()
 }
 

@@ -418,6 +418,7 @@ func (it *iteration) runParallel(opts Options) (*Stats, []int, error) {
 		tp = ft
 	}
 
+	//lint:ignore ctxflow the engine run owns this lifecycle end to end; cancel is deferred in this function
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	drainCtx, drainCancel := context.WithCancel(ctx)

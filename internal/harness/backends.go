@@ -108,7 +108,7 @@ func CompareBackends(ctx context.Context, snaps []sim.Snapshot, cfg Config, runs
 			if err != nil {
 				return fmt.Errorf("harness: %s timing: %w", leg.name, err)
 			}
-			cfg.Obs.Add(obsKey(leg.name)+"_snapshots", int64(len(snaps)))
+			cfg.Obs.Add(obsKey(leg.name)+"_snapshots", int64(len(snaps))) //lint:ignore metricname leg names come from the fixed backendLegs registry: bounded, lowercase families
 			cfg.Obs.Add(obsKey(leg.name)+"_partition_ns", row.PartitionNS)
 			cmp.Rows[i] = row
 			return nil

@@ -167,6 +167,7 @@ type Result struct {
 
 // Run executes the experiment over the snapshot sequence.
 func Run(snaps []sim.Snapshot, cfg Config) (*Result, error) {
+	//lint:ignore ctxflow compatibility wrapper; the context-aware entry point is RunSweep
 	return run(context.Background(), snaps, cfg, nil, 0, nil)
 }
 
@@ -488,6 +489,7 @@ func RunSweep(ctx context.Context, snaps []sim.Snapshot, cfgs []Config, o SweepO
 // RunAll is RunSweep with default options over a background context.
 // workers <= 0 selects GOMAXPROCS.
 func RunAll(snaps []sim.Snapshot, cfgs []Config, workers int) ([]*Result, error) {
+	//lint:ignore ctxflow compatibility wrapper; the context-aware entry point is RunSweep
 	return RunSweep(context.Background(), snaps, cfgs, SweepOptions{Workers: workers})
 }
 

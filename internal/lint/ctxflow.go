@@ -1,0 +1,220 @@
+package lint
+
+// ctxflow enforces the context-plumbing discipline that makes drain
+// and deadlines actually work: cancellation flows from the caller
+// down, so library code must not mint its own root contexts, must
+// accept ctx in the conventional first position, and must give its
+// event loops a way out.
+//
+//  1. context.Background() / context.TODO() outside package main:
+//     a library-minted root context detaches everything under it from
+//     the caller's drain. The one tolerated shape is the nil-guard
+//     default (`if ctx == nil { ctx = context.Background() }`), which
+//     only fires when the caller explicitly opted out. True lifecycle
+//     roots (a daemon's base context) carry a reasoned ignore.
+//  2. a context.Context parameter anywhere but first: the convention
+//     is load-bearing — grep, wrappers, and reviewers all assume
+//     `f(ctx, ...)`.
+//  3. `for { select { ... } }` event loops with no `<-ctx.Done()` arm
+//     in a function that receives a context: the loop outlives the
+//     cancellation it was handed.
+//
+// Non-test files only: tests are their own lifecycle roots.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxFlow returns the ctxflow analyzer.
+func CtxFlow() *Analyzer {
+	return &Analyzer{
+		Name: "ctxflow",
+		Doc:  "flag library-minted root contexts, misplaced ctx parameters, and uncancellable for-select loops",
+		Run:  runCtxFlow,
+	}
+}
+
+func runCtxFlow(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		if p.BaseName() != "main" {
+			out = append(out, rootContexts(p, f)...)
+		}
+		out = append(out, ctxParamPositions(p, f)...)
+		out = append(out, unCancellableLoops(p, f)...)
+	}
+	return out
+}
+
+// ---- check 1: library-minted root contexts ----
+
+func rootContexts(p *Package, f *ast.File) []Finding {
+	// Collect the ranges of if-statements whose condition compares
+	// something to nil: `if ctx == nil { ctx = context.Background() }`
+	// is the sanctioned defaulting idiom.
+	var nilGuards []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if cmp, ok := ifStmt.Cond.(*ast.BinaryExpr); ok &&
+			(cmp.Op == token.EQL || cmp.Op == token.NEQ) &&
+			(isNilIdent(cmp.X) || isNilIdent(cmp.Y)) {
+			nilGuards = append(nilGuards, ifStmt)
+		}
+		return true
+	})
+
+	var out []Finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(p, call)
+		if !isPkgFunc(fn, "context", "Background") && !isPkgFunc(fn, "context", "TODO") {
+			return true
+		}
+		for _, guard := range nilGuards {
+			if within(call.Pos(), guard) {
+				return true
+			}
+		}
+		out = append(out, Finding{Pos: call.Pos(), Message: fmt.Sprintf(
+			"context.%s() in library code detaches this call tree from the caller's cancellation — accept a ctx parameter (annotate a true lifecycle root with //lint:ignore ctxflow <reason>)",
+			fn.Name())})
+		return true
+	})
+	return out
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// ---- check 2: ctx parameter position ----
+
+func ctxParamPositions(p *Package, f *ast.File) []Finding {
+	var out []Finding
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Type.Params == nil {
+			continue
+		}
+		idx := 0
+		for _, field := range fd.Type.Params.List {
+			n := len(field.Names)
+			if n == 0 {
+				n = 1
+			}
+			if isContextType(p, field.Type) && idx > 0 {
+				out = append(out, Finding{Pos: field.Type.Pos(), Message: fmt.Sprintf(
+					"context.Context is parameter %d of %s; by convention ctx is always the first parameter", idx+1, fd.Name.Name)})
+			}
+			idx += n
+		}
+	}
+	return out
+}
+
+func isContextType(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// ---- check 3: for { select } with no ctx.Done() arm ----
+
+func unCancellableLoops(p *Package, f *ast.File) []Finding {
+	var out []Finding
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || !funcHasCtxParam(p, fd) {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok || loop.Cond != nil || loop.Init != nil || loop.Post != nil {
+				return true
+			}
+			sel := soleSelect(loop.Body)
+			if sel == nil {
+				return true
+			}
+			if !selectHasDoneArm(p, sel) {
+				out = append(out, Finding{Pos: loop.For, Message: "for { select } loop in a function that receives a context has no <-ctx.Done() arm — the loop outlives its cancellation"})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func funcHasCtxParam(p *Package, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if isContextType(p, field.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// soleSelect returns the select statement when the loop body is
+// exactly one select (the event-loop shape), nil otherwise.
+func soleSelect(body *ast.BlockStmt) *ast.SelectStmt {
+	if len(body.List) != 1 {
+		return nil
+	}
+	sel, _ := body.List[0].(*ast.SelectStmt)
+	return sel
+}
+
+// selectHasDoneArm reports whether any comm clause receives from a
+// Done() call on a context.
+func selectHasDoneArm(p *Package, sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		comm, ok := clause.(*ast.CommClause)
+		if !ok || comm.Comm == nil {
+			continue
+		}
+		var recvExpr ast.Expr
+		switch c := comm.Comm.(type) {
+		case *ast.ExprStmt:
+			recvExpr = c.X
+		case *ast.AssignStmt:
+			if len(c.Rhs) == 1 {
+				recvExpr = c.Rhs[0]
+			}
+		}
+		unary, ok := ast.Unparen(recvExpr).(*ast.UnaryExpr)
+		if !ok || unary.Op != token.ARROW {
+			continue
+		}
+		call, ok := ast.Unparen(unary.X).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if isMethod(calleeOf(p, call), "context", "Context", "Done") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,114 @@
+package lint
+
+// goroleak flags `go` statements with no visible lifecycle owner. The
+// serving chaos test audits zero leaked goroutines after drain; that
+// property holds because every goroutine in the tree is joined or
+// signalled by something — a WaitGroup, a done channel, a result
+// send, a pool.Group, or an http.Server whose Shutdown is the join.
+// A `go` statement with none of those is a goroutine the drain cannot
+// account for.
+//
+// Ownership evidence, checked structurally:
+//
+//   - the spawned function literal's body calls sync.WaitGroup.Done,
+//     closes a channel, or sends on a channel (a rendezvous with a
+//     receiver is a join);
+//   - the literal's body calls (http.Server).Serve / ListenAndServe /
+//     ListenAndServeTLS (Shutdown/Close joins those);
+//   - the enclosing function calls sync.WaitGroup.Add lexically
+//     before the go statement (the `wg.Add(n); for ... { go ... }`
+//     idiom, where Done lives in the spawned named method).
+//
+// Goroutines whose lifecycle is managed elsewhere (a worker joined by
+// a custom condition-variable protocol, a deliberate
+// process-lifetime helper) carry a reasoned //lint:ignore goroleak.
+// Non-test files only; test goroutines are the leak audit's job.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroLeak returns the goroleak analyzer.
+func GoroLeak() *Analyzer {
+	return &Analyzer{
+		Name: "goroleak",
+		Doc:  "flag go statements with no visible lifecycle owner (WaitGroup, done channel, result send, http.Server)",
+		Run:  runGoroLeak,
+	}
+}
+
+func runGoroLeak(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, body := range funcBodies(f) {
+			inspectShallow(body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if goStmtOwned(p, body, g) {
+					return true
+				}
+				out = append(out, Finding{Pos: g.Pos(), Message: "go statement has no visible lifecycle owner " +
+					"(no WaitGroup Add/Done, done-channel close or send, or http.Server serve loop) — " +
+					"a goroutine the drain cannot join leaks past shutdown"})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// goStmtOwned reports whether the go statement shows any ownership
+// evidence.
+func goStmtOwned(p *Package, body *ast.BlockStmt, g *ast.GoStmt) bool {
+	// wg.Add(...) lexically before the spawn in the same body.
+	addBefore := false
+	inspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= g.Pos() {
+			return true
+		}
+		if isMethod(calleeOf(p, call), "sync", "WaitGroup", "Add") {
+			addBefore = true
+		}
+		return !addBefore
+	})
+	if addBefore {
+		return true
+	}
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	// Ownership signals anywhere in the spawned literal, nested
+	// literals included (a deferred closure calling Done counts).
+	owned := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			owned = true
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+					owned = true // builtin close: a done-channel broadcast
+				}
+			}
+			fn := calleeOf(p, n)
+			switch {
+			case isMethod(fn, "sync", "WaitGroup", "Done"):
+				owned = true
+			case isMethod(fn, "net/http", "Server", "Serve"),
+				isMethod(fn, "net/http", "Server", "ListenAndServe"),
+				isMethod(fn, "net/http", "Server", "ListenAndServeTLS"):
+				owned = true
+			}
+		}
+		return !owned
+	})
+	return owned
+}

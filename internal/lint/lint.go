@@ -21,6 +21,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one raw analyzer report, positioned by token.Pos within
@@ -66,6 +67,11 @@ func Analyzers() []*Analyzer {
 		ObsBalance(),
 		ErrDrop(),
 		SyncMisuse(),
+		LockHeld(),
+		GoroLeak(),
+		CtxFlow(),
+		SlogKey(),
+		MetricName(),
 	}
 }
 
@@ -112,12 +118,30 @@ func parseIgnores(p *Package) []ignoreDirective {
 	return out
 }
 
+// AnalyzerStat is one analyzer's share of a run: post-suppression
+// diagnostic count and accumulated wall time across all packages. The
+// pseudo-analyzer "lint" (directive hygiene) reports a count only.
+type AnalyzerStat struct {
+	Name    string
+	Diags   int
+	Elapsed time.Duration
+}
+
 // RunAnalyzers runs every analyzer over every package, applies
 // suppression directives, and returns the sorted diagnostic list.
 // Malformed directives and directives naming an unknown analyzer are
 // themselves diagnostics (analyzer "lint"), so a typo cannot silently
 // disable a check.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunAnalyzersStats(pkgs, analyzers)
+	return diags
+}
+
+// RunAnalyzersStats is RunAnalyzers plus per-analyzer accounting, in
+// registration order with the "lint" pseudo-analyzer appended. The
+// stats (wall time) are for the operator; the diagnostics stay
+// byte-identical across runs.
+func RunAnalyzersStats(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []AnalyzerStat) {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
@@ -149,9 +173,13 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 	}
 
+	elapsed := make([]time.Duration, len(analyzers))
 	for _, p := range pkgs {
-		for _, a := range analyzers {
-			for _, f := range a.Run(p) {
+		for i, a := range analyzers {
+			t0 := time.Now()
+			findings := a.Run(p)
+			elapsed[i] += time.Since(t0)
+			for _, f := range findings {
 				pos := p.Fset.Position(f.Pos)
 				if byName := suppressed[lineKey{pos.Filename, pos.Line}]; byName[a.Name] {
 					continue
@@ -183,7 +211,17 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Message < b.Message
 	})
-	return diags
+
+	counts := map[string]int{}
+	for _, d := range diags {
+		counts[d.Analyzer]++
+	}
+	stats := make([]AnalyzerStat, 0, len(analyzers)+1)
+	for i, a := range analyzers {
+		stats = append(stats, AnalyzerStat{Name: a.Name, Diags: counts[a.Name], Elapsed: elapsed[i]})
+	}
+	stats = append(stats, AnalyzerStat{Name: "lint", Diags: counts["lint"]})
+	return diags, stats
 }
 
 // WriteText prints one diagnostic per line in file:line:col form.

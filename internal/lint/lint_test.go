@@ -88,7 +88,7 @@ func TestDirectives(t *testing.T) {
 	checkGolden(t, dir, diags)
 }
 
-var selfPatterns = []string{"./internal/...", "./cmd/...", "./tools/..."}
+var selfPatterns = []string{"./internal/...", "./cmd/...", "./tools/...", "./examples/..."}
 
 // TestLintSelf pins the committed zero-diagnostic baseline: the whole
 // tree, including the linter itself, must be clean.
@@ -131,5 +131,122 @@ func TestDeterministicOutput(t *testing.T) {
 	second := run()
 	if first != second {
 		t.Errorf("two runs produced different output\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+}
+
+// TestDeterministicFixtureOutput runs the full analyzer set over the
+// serving-contract fixtures twice — directories with diagnostics, so
+// determinism is proven over non-empty output, not a vacuously empty
+// clean tree. The v2 analyzers carry cross-call state (metricname's
+// family registry, lockheld's region list), which must reset and
+// re-order identically between runs.
+func TestDeterministicFixtureOutput(t *testing.T) {
+	root := repoRoot(t)
+	fixtures := []string{"lockheld", "goroleak", "ctxflow", "slogkey", "metricname"}
+	run := func() string {
+		var sb strings.Builder
+		for _, name := range fixtures {
+			dir := filepath.Join(root, "internal", "lint", "testdata", "src", name)
+			pkgs, err := LoadDir(root, dir)
+			if err != nil {
+				t.Fatalf("loading fixture %s: %v", name, err)
+			}
+			diags := RunAnalyzers(pkgs, Analyzers())
+			WriteText(&sb, diags)
+		}
+		return sb.String()
+	}
+	first := run()
+	if first == "" {
+		t.Fatal("fixture run produced no diagnostics; the determinism check is vacuous")
+	}
+	second := run()
+	if first != second {
+		t.Errorf("two fixture runs produced different output\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+}
+
+// TestLintSelfMetricRegistry pins the repo's Prometheus family
+// inventory: every constant metric name the Collector sees, one
+// "category name" line each, sorted. Run with LINT_UPDATE=1 to
+// regenerate after adding a metric.
+func TestLintSelfMetricRegistry(t *testing.T) {
+	root := repoRoot(t)
+	pkgs, err := Load(root, selfPatterns)
+	if err != nil {
+		t.Fatalf("loading repo: %v", err)
+	}
+	got := strings.Join(MetricNames(pkgs), "\n") + "\n"
+	regPath := filepath.Join(root, "internal", "lint", "metricnames.txt")
+	if os.Getenv("LINT_UPDATE") != "" {
+		if err := os.WriteFile(regPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(regPath)
+	if err != nil {
+		t.Fatalf("reading metric registry (run with LINT_UPDATE=1 to create it): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("metric registry drift — rerun with LINT_UPDATE=1 and review the diff\ngot:\n%s\nwant:\n%s",
+			got, string(want))
+	}
+}
+
+// TestSeededViolations plants the three marquee serving-era bugs —
+// a channel send under an admission mutex, an unowned go statement,
+// and a dynamic slog key — in a scratch package and proves the full
+// analyzer set rejects each one. This is the end-to-end guarantee the
+// zero-diagnostic baseline rests on.
+func TestSeededViolations(t *testing.T) {
+	root := repoRoot(t)
+	dir := t.TempDir()
+	src := `package seeded
+
+import (
+	"log/slog"
+	"sync"
+)
+
+type admission struct {
+	mu    sync.Mutex
+	queue chan int
+}
+
+func (a *admission) enqueue(v int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.queue <- v
+}
+
+func spawn() {
+	go func() {
+		select {}
+	}()
+}
+
+func logDynamic(l *slog.Logger, field string) {
+	l.Info("event", field, 1)
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "seeded.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadDir(root, dir)
+	if err != nil {
+		t.Fatalf("loading seeded package: %v", err)
+	}
+	diags := RunAnalyzers(pkgs, Analyzers())
+	fired := map[string]bool{}
+	for _, d := range diags {
+		fired[d.Analyzer] = true
+	}
+	for _, want := range []string{"lockheld", "goroleak", "slogkey"} {
+		if !fired[want] {
+			var sb strings.Builder
+			WriteText(&sb, diags)
+			t.Errorf("seeded violation for %s not caught; diagnostics:\n%s", want, sb.String())
+		}
 	}
 }

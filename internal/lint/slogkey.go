@@ -1,0 +1,169 @@
+package lint
+
+// slogkey enforces the structured-logging contract behind the
+// log-derived dashboards: every slog attribute key is a constant
+// snake_case string literal, no call repeats a key, and no key is
+// left without a value. A dynamic key fractures every query written
+// against the field; a duplicate silently shadows; a dangling key
+// shifts the whole tail into `!BADKEY` pairs at runtime.
+//
+// Sinks: the slog.Logger output methods (Debug/Info/Warn/Error, their
+// *Context forms, Log, LogAttrs) plus With, the package-level
+// equivalents, and the server's logEvent wrapper. Positional
+// arguments before the key/value tail (ctx, level, the message) are
+// skipped; slog.Attr-typed arguments consume one slot, and the attr
+// constructors (slog.String, slog.Int, ...) have their key argument
+// checked the same way. Calls that splat a []any (args...) are not
+// analyzable and are skipped — the one splat site is the logEvent
+// wrapper, whose call sites are all checked. Non-test files only.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+// snakeCaseRE is the sanctioned key shape (also prom-safe, so log
+// fields and metric names share one grammar).
+var snakeCaseRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// SlogKey returns the slogkey analyzer.
+func SlogKey() *Analyzer {
+	return &Analyzer{
+		Name: "slogkey",
+		Doc:  "require constant snake_case slog keys, no duplicates in a call, no dangling key",
+		Run:  runSlogKey,
+	}
+}
+
+func runSlogKey(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kvStart, isSink := slogSink(p, call)
+			if !isSink || call.Ellipsis.IsValid() {
+				return true
+			}
+			out = append(out, checkKVTail(p, call.Args, kvStart)...)
+			return true
+		})
+	}
+	return out
+}
+
+// slogSink classifies a call as a structured-logging sink and returns
+// the index where its key/value tail starts.
+func slogSink(p *Package, call *ast.CallExpr) (kvStart int, ok bool) {
+	fn := calleeOf(p, call)
+	if fn == nil {
+		return 0, false
+	}
+	onLogger := recvNameOf(fn) == "Logger" && pkgSuffixIs(fn, "log/slog")
+	pkgLevel := recvNameOf(fn) == "" && pkgSuffixIs(fn, "log/slog")
+	switch fn.Name() {
+	case "Debug", "Info", "Warn", "Error":
+		if onLogger || pkgLevel {
+			return 1, true // (msg, kv...)
+		}
+	case "DebugContext", "InfoContext", "WarnContext", "ErrorContext":
+		if onLogger || pkgLevel {
+			return 2, true // (ctx, msg, kv...)
+		}
+	case "Log":
+		if onLogger || pkgLevel {
+			return 3, true // (ctx, level, msg, kv...)
+		}
+	case "With":
+		if onLogger || pkgLevel {
+			return 0, true // (kv...)
+		}
+	case "Group":
+		if pkgLevel {
+			return 1, true // (key, kv...); the key itself is arg 0
+		}
+	}
+	if isMethod(fn, "internal/server", "Server", "logEvent") {
+		return 1, true // (event, kv...)
+	}
+	return 0, false
+}
+
+// slogAttrConstructors are the package-level helpers whose first
+// argument is a key.
+var slogAttrConstructors = map[string]bool{
+	"String": true, "Int": true, "Int64": true, "Uint64": true,
+	"Float64": true, "Bool": true, "Time": true, "Duration": true,
+	"Any": true, "Group": true,
+}
+
+// checkKVTail validates args[kvStart:] as an alternating key/value
+// tail with slog.Attr values consuming one slot.
+func checkKVTail(p *Package, args []ast.Expr, kvStart int) []Finding {
+	var out []Finding
+	seen := map[string]bool{}
+	for i := kvStart; i < len(args); {
+		arg := args[i]
+		if isSlogAttr(p, arg) {
+			if call, ok := ast.Unparen(arg).(*ast.CallExpr); ok && len(call.Args) > 0 {
+				fn := calleeOf(p, call)
+				if fn != nil && recvNameOf(fn) == "" && pkgSuffixIs(fn, "log/slog") && slogAttrConstructors[fn.Name()] {
+					out = append(out, checkKey(p, call.Args[0], seen)...)
+				}
+			}
+			i++
+			continue
+		}
+		out = append(out, checkKey(p, arg, seen)...)
+		if i+1 >= len(args) {
+			out = append(out, Finding{Pos: arg.Pos(), Message: "slog key has no value (odd-length key/value tail); at runtime the tail degrades into !BADKEY pairs"})
+		}
+		i += 2
+	}
+	return out
+}
+
+// checkKey validates one key expression: constant, snake_case, and
+// not yet seen in this call.
+func checkKey(p *Package, key ast.Expr, seen map[string]bool) []Finding {
+	tv, ok := p.Info.Types[key]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return []Finding{{Pos: key.Pos(), Message: fmt.Sprintf(
+			"slog key must be a constant string (got %s) — a dynamic key fractures every dashboard query written against the field",
+			exprText(p.Fset, key))}}
+	}
+	k := constant.StringVal(tv.Value)
+	var out []Finding
+	if !snakeCaseRE.MatchString(k) {
+		out = append(out, Finding{Pos: key.Pos(), Message: fmt.Sprintf(
+			"slog key %q is not snake_case (want %s)", k, snakeCaseRE.String())})
+	}
+	if seen[k] {
+		out = append(out, Finding{Pos: key.Pos(), Message: fmt.Sprintf(
+			"duplicate slog key %q in one call; the handler keeps both and queries see either", k)})
+	}
+	seen[k] = true
+	return out
+}
+
+// isSlogAttr reports whether the expression's type is log/slog.Attr.
+func isSlogAttr(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Attr" && obj.Pkg() != nil && obj.Pkg().Path() == "log/slog"
+}

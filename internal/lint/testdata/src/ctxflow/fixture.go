@@ -1,0 +1,65 @@
+// Fixture for ctxflow: library-minted root contexts, misplaced ctx
+// parameters, and for-select loops with no way out.
+package ctxflow
+
+import "context"
+
+// libraryRoot mints a root context in library code.
+func libraryRoot() context.Context {
+	return context.Background()
+}
+
+// todoRoot is no better.
+func todoRoot() context.Context {
+	return context.TODO()
+}
+
+// defaulted is the tolerated nil-guard idiom: the caller explicitly
+// opted out.
+func defaulted(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
+}
+
+// first is the conventional signature.
+func first(ctx context.Context, n int) {
+	_ = n
+	<-ctx.Done()
+}
+
+// misplaced buries ctx in second position.
+func misplaced(name string, ctx context.Context) {
+	_ = name
+	<-ctx.Done()
+}
+
+// uncancellable receives a context but its event loop has no Done
+// arm.
+func uncancellable(ctx context.Context, in <-chan int) {
+	for {
+		select {
+		case v := <-in:
+			_ = v
+		}
+	}
+}
+
+// cancellable is the sanctioned loop shape.
+func cancellable(ctx context.Context, in <-chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-in:
+			_ = v
+		}
+	}
+}
+
+// suppressed is an annotated lifecycle root.
+func suppressed() context.Context {
+	//lint:ignore ctxflow fixture: true lifecycle root
+	return context.Background()
+}

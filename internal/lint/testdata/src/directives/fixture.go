@@ -3,7 +3,12 @@
 // typo cannot silently disable a check.
 package directives
 
-import "os"
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"os"
+)
 
 // missingReason has an analyzer but no reason.
 func missingReason(f *os.File) {
@@ -26,4 +31,19 @@ func sameLine(f *os.File) {
 func lineAbove(f *os.File) {
 	//lint:ignore errdrop read-only handle, close error carries no data
 	f.Close()
+}
+
+// v2Suppressions: the serving-contract analyzers honor the same
+// directive grammar.
+func v2Suppressions() context.Context {
+	go fmt.Println("fire and forget") //lint:ignore goroleak deliberate one-shot print
+	//lint:ignore ctxflow this helper is a documented lifecycle root
+	return context.Background()
+}
+
+// v2MissingReason: a malformed directive leaves the slogkey
+// diagnostic live.
+func v2MissingReason(l *slog.Logger, k string) {
+	//lint:ignore slogkey
+	l.Info("event", k, 1) // still flagged: the directive above is malformed
 }

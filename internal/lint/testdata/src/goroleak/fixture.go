@@ -1,0 +1,74 @@
+// Fixture for goroleak: go statements need a visible lifecycle owner
+// — a WaitGroup, a done-channel close or send, or an http.Server
+// serve loop joined by Shutdown.
+package goroleak
+
+import (
+	"net"
+	"net/http"
+	"sync"
+)
+
+type worker struct{}
+
+func (worker) run() {}
+
+// leakyLit spawns a literal with no ownership signal in its body.
+func leakyLit(in <-chan int) {
+	go func() {
+		for range in {
+		}
+	}()
+}
+
+// leakyNamed spawns a named method with no WaitGroup.Add before it.
+func leakyNamed(w worker) {
+	go w.run()
+}
+
+// ownedDone joins through a deferred Done.
+func ownedDone(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// ownedAddBefore: the Add-then-spawn idiom, Done living in the named
+// method.
+func ownedAddBefore(w worker, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go w.run()
+}
+
+// ownedClose broadcasts completion on a done channel.
+func ownedClose() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	return done
+}
+
+// ownedSend rendezvouses its result with a receiver.
+func ownedSend() <-chan error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- nil
+	}()
+	return errc
+}
+
+// ownedServe: the serve loop is joined by Shutdown/Close.
+func ownedServe(srv *http.Server, ln net.Listener) {
+	go func() { _ = srv.Serve(ln) }()
+}
+
+// suppressed is a deliberate process-lifetime helper.
+func suppressed(in <-chan int) {
+	//lint:ignore goroleak fixture: deliberate process-lifetime helper
+	go func() {
+		for range in {
+		}
+	}()
+}

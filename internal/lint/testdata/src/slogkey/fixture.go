@@ -1,0 +1,41 @@
+// Fixture for slogkey: slog attribute keys must be constant
+// snake_case literals, unique within a call, and paired with values.
+package slogkey
+
+import "log/slog"
+
+// dynamicKey fractures every dashboard query on the field.
+func dynamicKey(l *slog.Logger, k string) {
+	l.Info("event", k, 1)
+}
+
+// badCase is not snake_case.
+func badCase(l *slog.Logger) {
+	l.Warn("event", "DurMS", 3)
+}
+
+// duplicate repeats a key in one call.
+func duplicate(l *slog.Logger) {
+	l.Error("event", "job", 1, "job", 2)
+}
+
+// dangling leaves the last key without a value.
+func dangling(l *slog.Logger) {
+	l.Info("event", "job", 1, "cause")
+}
+
+// attrs: constructor keys are checked the same way.
+func attrs(l *slog.Logger, k string) {
+	l.Info("event", slog.String("ok_key", "v"), slog.Int(k, 2))
+}
+
+// clean mixes plain pairs and constructors, all constant snake_case.
+func clean(l *slog.Logger, cause string) {
+	l.Info("event", "job", "job-000001", "wall_ms", 12, slog.String("cause", cause))
+}
+
+// suppressed carries a reasoned ignore.
+func suppressed(l *slog.Logger, k string) {
+	//lint:ignore slogkey fixture: deliberate dynamic key
+	l.Info("event", k, 1)
+}

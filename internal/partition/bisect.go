@@ -234,7 +234,7 @@ func startPhase(col *obs.Collector, name string, depth int) func() {
 	t0 := time.Now() //lint:ignore detrand phase timing only; durations feed obs, never the partition
 	return func() {
 		d := time.Since(t0) //lint:ignore detrand phase timing only; durations feed obs, never the partition
-		col.Observe(name, d)
+		col.Observe(name, d) //lint:ignore metricname phase names come from the fixed phase set; depth is bounded by the recursion
 		col.Observe(fmt.Sprintf("%s_d%d", name, depth), d)
 	}
 }

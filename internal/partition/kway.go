@@ -38,6 +38,7 @@ func Partition(g *graph.Graph, opt Options) ([]int32, error) {
 // cancels its sibling subtree's queued tasks and is returned as an
 // error instead of crashing the process.
 func KWay(g *graph.Graph, opt Options) ([]int32, error) {
+	//lint:ignore ctxflow compatibility wrapper; KWayCtx is the context-aware form
 	return KWayCtx(context.Background(), g, opt)
 }
 

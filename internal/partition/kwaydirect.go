@@ -30,6 +30,7 @@ func PartitionDirect(g *graph.Graph, opt Options) ([]int32, error) {
 	const coarsenPerPart = 30
 	target := maxInt(opt.CoarsenTo, coarsenPerPart*opt.K)
 	rng := rand.New(rand.NewSource(opt.Seed))
+	//lint:ignore ctxflow the direct variant is the uncancellable reference path; KWayCtx serves cancellation
 	levels := coarsen(context.Background(), g, target, rng)
 
 	// Initial k-way partition of the coarsest graph by recursive

@@ -126,6 +126,7 @@ func NewGroup(ctx context.Context, workers int) *Group {
 	g.cond = sync.NewCond(&g.mu)
 	g.ctx, g.cancel = context.WithCancel(ctx)
 	for i := 0; i < Workers(workers); i++ {
+		//lint:ignore goroleak workers are joined by Wait through the cond/pending protocol, not a WaitGroup
 		go g.worker()
 	}
 	return g
@@ -171,6 +172,7 @@ func (g *Group) Fork(size, cutoff int, fn func(ctx context.Context) error) error
 	if g != nil && size >= cutoff {
 		return g.Submit(fn)
 	}
+	//lint:ignore ctxflow the nil-Group serial path runs inline on the caller's stack; there is no group context to inherit
 	ctx := context.Background()
 	if g != nil {
 		if err := g.ctx.Err(); err != nil {

@@ -61,6 +61,7 @@ func Build(pts []geom.Point, dim, k int) (*Tree, []int32, error) {
 		idx[i] = int32(i)
 	}
 	if k > 1 && len(pts) >= parallelBuildCutoff {
+		//lint:ignore ctxflow fork-join group created and joined in this function; no caller cancellation crosses it
 		grp := pool.NewGroup(context.Background(), 0)
 		t.root = build(grp, pts, idx, labels, dim, 0, k)
 		if err := grp.Wait(); err != nil {

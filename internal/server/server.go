@@ -241,6 +241,7 @@ func New(opt Options) *Server {
 	if opt.TraceRing > 0 {
 		s.traces = newTraceRing(opt.TraceRing)
 	}
+	//lint:ignore ctxflow the daemon's base context is a true lifecycle root; Drain cancels it
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.wg.Add(opt.Workers)
 	for i := 0; i < opt.Workers; i++ {
@@ -256,25 +257,37 @@ func New(opt Options) *Server {
 // job instead of creating a new one. Errors: ErrDraining, ErrQueueFull
 // (retryable), or a validation error (not retryable).
 func (s *Server) Submit(spec JobSpec, idemKey string) (JobView, error) {
+	// Lifecycle logging happens after the mutex is released: the log
+	// defer is registered before the lock defer, so the LIFO unwind
+	// runs Unlock first. A slog write under the admission mutex would
+	// stall every submitter and every health probe behind one slow
+	// stderr pipe (the lockheld contract).
+	var logEv string
+	var logArgs []any
+	defer func() {
+		if logEv != "" {
+			s.logEvent(logEv, logArgs...)
+		}
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.acct.Submitted++
 	if s.draining {
 		s.acct.RejectedDraining++
 		s.flight.Record("reject_draining", "", string(spec.Kind))
-		s.logEvent("rejected_draining", "kind", string(spec.Kind))
+		logEv, logArgs = "rejected_draining", []any{"kind", string(spec.Kind)}
 		return JobView{}, ErrDraining
 	}
 	if idemKey != "" {
 		if id, ok := s.byKey[idemKey]; ok {
 			s.acct.Deduped++
-			s.logEvent("deduped", "job", id, "key", idemKey)
+			logEv, logArgs = "deduped", []any{"job", id, "key", idemKey}
 			return s.jobs[id].view(), nil
 		}
 	}
 	if err := spec.validate(s.opt.MaxGraphVertices); err != nil {
 		s.acct.RejectedInvalid++
-		s.logEvent("rejected_invalid", "kind", string(spec.Kind), "cause", err.Error())
+		logEv, logArgs = "rejected_invalid", []any{"kind", string(spec.Kind), "cause", err.Error()}
 		return JobView{}, fmt.Errorf("invalid job: %w", err)
 	}
 
@@ -300,7 +313,7 @@ func (s *Server) Submit(spec JobSpec, idemKey string) (JobView, error) {
 		s.acct.CacheHits++
 		s.acct.Completed++
 		s.registerLocked(job)
-		s.logEvent("cache_hit", "job", job.id, "hash", job.hash)
+		logEv, logArgs = "cache_hit", []any{"job", job.id, "hash", job.hash}
 		return job.view(), nil
 	}
 
@@ -312,12 +325,12 @@ func (s *Server) Submit(spec JobSpec, idemKey string) (JobView, error) {
 	default:
 		s.acct.RejectedFull++
 		s.flight.Record("shed", "", fmt.Sprintf("queue full (kind=%s hash=%s)", spec.Kind, job.hash))
-		s.logEvent("shed", "kind", string(spec.Kind), "hash", job.hash)
+		logEv, logArgs = "shed", []any{"kind", string(spec.Kind), "hash", job.hash}
 		return JobView{}, ErrQueueFull
 	}
 	s.acct.Accepted++
 	s.registerLocked(job)
-	s.logEvent("submitted", "job", job.id, "kind", string(spec.Kind), "hash", job.hash)
+	logEv, logArgs = "submitted", []any{"job", job.id, "kind", string(spec.Kind), "hash", job.hash}
 	return job.view(), nil
 }
 
@@ -475,14 +488,22 @@ func (s *Server) Draining() bool {
 // has exited, or ctx's error if they don't make it in time (leaving
 // the workers to finish unwinding in the background). Idempotent.
 func (s *Server) Drain(ctx context.Context) error {
+	// Capture the drain snapshot under the lock, log after releasing
+	// it: the structured-log write must not extend the critical
+	// section (lockheld).
 	s.mu.Lock()
+	began := false
+	var inflight, queued int
 	if !s.draining {
 		s.draining = true
 		close(s.queue)
-		s.flight.Record("drain_begin", "", fmt.Sprintf("inflight=%d queued=%d", s.inflight, len(s.queue)))
-		s.logEvent("drain_begin", "inflight", s.inflight, "queued", len(s.queue))
+		began, inflight, queued = true, s.inflight, len(s.queue)
+		s.flight.Record("drain_begin", "", fmt.Sprintf("inflight=%d queued=%d", inflight, queued))
 	}
 	s.mu.Unlock()
+	if began {
+		s.logEvent("drain_begin", "inflight", inflight, "queued", queued)
+	}
 	s.baseCancel()
 
 	done := make(chan struct{})

@@ -35,6 +35,7 @@ type Faulty struct {
 // deliveries.
 func NewFaulty(inner Transport, plan *fault.Plan, col *obs.Collector) *Faulty {
 	f := &Faulty{inner: inner, plan: plan, col: col}
+	//lint:ignore ctxflow Close cancels this context; the wrapper owns its delayed-delivery lifecycle
 	f.ctx, f.cancel = context.WithCancel(context.Background())
 	return f
 }

@@ -1,22 +1,24 @@
 // Command contactlint runs the repo's static-analysis suite
 // (internal/lint): project-specific analyzers that turn the
-// determinism and observability contracts into build-breaking
-// diagnostics. It is stdlib-only — packages are loaded with go/parser
-// and type-checked with go/types, no golang.org/x/tools.
+// determinism, observability, and serving contracts into
+// build-breaking diagnostics. It is stdlib-only — packages are loaded
+// with go/parser and type-checked with go/types, no golang.org/x/tools.
 //
 // Usage:
 //
-//	go run ./tools/contactlint [-json] [-analyzers a,b] [-list] [packages...]
+//	go run ./tools/contactlint [-json] [-analyzers a,b] [-list] [-fixtures] [-count] [-stats] [packages...]
 //
 // With no package arguments it lints the default gate:
-// ./internal/... ./cmd/... ./tools/... . Patterns follow the go
-// tool's forms ("./dir", "./dir/...").
+// ./internal/... ./cmd/... ./tools/... ./examples/... . Patterns
+// follow the go tool's forms ("./dir", "./dir/...").
 //
 // Exit status: 0 when the tree is clean, 1 when any diagnostic is
-// reported, 2 when packages fail to load or type-check. Output is
-// sorted by file/line/column/analyzer/message, so two runs over the
-// same tree are byte-identical; -json emits the same order as a JSON
-// array for CI and tooling.
+// reported, 2 when packages fail to load or type-check (or the flags
+// are invalid). Output is sorted by
+// file/line/column/analyzer/message, so two runs over the same tree
+// are byte-identical; -json emits the same order as a JSON array for
+// CI and tooling. -count prints only the diagnostic total; -stats
+// adds a per-analyzer count and wall-time table on stderr.
 //
 // Suppress a deliberate violation at its line (or the line above)
 // with:
@@ -28,6 +30,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -36,18 +39,60 @@ import (
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array instead of text")
-	sel := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
-	list := flag.Bool("list", false, "list the analyzers and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("contactlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+	sel := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fixtures := fs.Bool("fixtures", false, "list each analyzer's golden fixture directory and exit")
+	countOnly := fs.Bool("count", false, "print only the diagnostic count")
+	stats := fs.Bool("stats", false, "print per-analyzer diagnostic counts and wall time on stderr")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	analyzers := lint.Analyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(stderr, "contactlint:", err)
+		return 2
+	}
+
+	if *fixtures {
+		// The directives dir exercises the suppression machinery and
+		// belongs to the "lint" pseudo-analyzer.
+		names := []string{"directives"}
+		for _, a := range analyzers {
+			names = append(names, a.Name)
+		}
+		missing := 0
+		for _, name := range names {
+			dir := filepath.Join(root, "internal", "lint", "testdata", "src", name)
+			rel, _ := filepath.Rel(root, dir)
+			if _, err := os.Stat(dir); err != nil {
+				fmt.Fprintf(stdout, "%-12s MISSING %s\n", name, filepath.ToSlash(rel))
+				missing++
+				continue
+			}
+			fmt.Fprintf(stdout, "%-12s %s\n", name, filepath.ToSlash(rel))
+		}
+		if missing > 0 {
+			return 1
+		}
+		return 0
+	}
+
 	if *sel != "" {
 		byName := make(map[string]*lint.Analyzer, len(analyzers))
 		for _, a := range analyzers {
@@ -58,47 +103,52 @@ func main() {
 			name = strings.TrimSpace(name)
 			a, ok := byName[name]
 			if !ok {
-				fmt.Fprintf(os.Stderr, "contactlint: unknown analyzer %q (run with -list to see the set)\n", name)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "contactlint: unknown analyzer %q (run with -list to see the set)\n", name)
+				return 2
 			}
 			picked = append(picked, a)
 		}
 		analyzers = picked
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
-		patterns = []string{"./internal/...", "./cmd/...", "./tools/..."}
+		patterns = []string{"./internal/...", "./cmd/...", "./tools/...", "./examples/..."}
 	}
 
-	root, err := moduleRoot()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "contactlint:", err)
-		os.Exit(2)
-	}
 	pkgs, err := lint.Load(root, patterns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "contactlint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "contactlint:", err)
+		return 2
 	}
-	diags := lint.RunAnalyzers(pkgs, analyzers)
+	diags, perAnalyzer := lint.RunAnalyzersStats(pkgs, analyzers)
 
-	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+	switch {
+	case *countOnly:
+		fmt.Fprintln(stdout, len(diags))
+	case *jsonOut:
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
 			diags = []lint.Diagnostic{}
 		}
 		if err := enc.Encode(diags); err != nil {
-			fmt.Fprintln(os.Stderr, "contactlint:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "contactlint:", err)
+			return 2
 		}
-	} else {
-		lint.WriteText(os.Stdout, diags)
+	default:
+		lint.WriteText(stdout, diags)
+	}
+	if *stats {
+		for _, s := range perAnalyzer {
+			fmt.Fprintf(stderr, "%-12s %4d diagnostics  %8.1fms\n",
+				s.Name, s.Diags, float64(s.Elapsed.Microseconds())/1000.0)
+		}
 	}
 	if len(diags) > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // moduleRoot finds the enclosing module by walking up from the

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunExitCodes pins the CLI contract: 0 clean, 1 diagnostics,
+// 2 load or usage failure. The dirty case lints a golden fixture
+// directly — explicit testdata paths are not skipped, only recursive
+// walks prune them — so the test needs no scratch package.
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean tree", []string{"./internal/mesh"}, 0},
+		{"diagnostics found", []string{"./internal/lint/testdata/src/errdrop"}, 1},
+		{"fixture with subset", []string{"-analyzers", "lockheld", "./internal/lint/testdata/src/lockheld"}, 1},
+		{"count only still fails", []string{"-count", "./internal/lint/testdata/src/errdrop"}, 1},
+		{"bad pattern", []string{"./does/not/exist/..."}, 2},
+		{"unknown analyzer", []string{"-analyzers", "nosuch"}, 2},
+		{"bad flag", []string{"-definitely-not-a-flag"}, 2},
+		{"list", []string{"-list"}, 0},
+		{"fixtures", []string{"-fixtures"}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			got := run(tc.args, &stdout, &stderr)
+			if got != tc.want {
+				t.Errorf("run(%v) = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					tc.args, got, tc.want, stdout.String(), stderr.String())
+			}
+		})
+	}
+}
+
+// TestRunCountOutput checks -count prints a bare integer matching the
+// diagnostic total for a fixture with a known count.
+func TestRunCountOutput(t *testing.T) {
+	var stdout, stderr strings.Builder
+	run([]string{"-count", "-analyzers", "goroleak", "./internal/lint/testdata/src/goroleak"}, &stdout, &stderr)
+	if got := strings.TrimSpace(stdout.String()); got != "2" {
+		t.Errorf("-count printed %q, want \"2\"", got)
+	}
+}
+
+// TestRunFixturesListing checks every analyzer (plus the directives
+// suite) reports a present fixture directory.
+func TestRunFixturesListing(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if got := run([]string{"-fixtures"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("-fixtures exited %d\n%s", got, stdout.String())
+	}
+	out := stdout.String()
+	if strings.Contains(out, "MISSING") {
+		t.Errorf("-fixtures reports a missing directory:\n%s", out)
+	}
+	for _, name := range []string{"directives", "lockheld", "goroleak", "ctxflow", "slogkey", "metricname"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-fixtures output lacks %q:\n%s", name, out)
+		}
+	}
+}
+
+// TestRunStats checks -stats emits one stderr row per analyzer with
+// its diagnostic count.
+func TestRunStats(t *testing.T) {
+	var stdout, stderr strings.Builder
+	run([]string{"-stats", "-analyzers", "slogkey", "./internal/lint/testdata/src/slogkey"}, &stdout, &stderr)
+	if !strings.Contains(stderr.String(), "slogkey") || !strings.Contains(stderr.String(), "diagnostics") {
+		t.Errorf("-stats stderr lacks the analyzer table:\n%s", stderr.String())
+	}
+}
